@@ -1,0 +1,604 @@
+//! The buffer-capacity algorithm (Section 4).
+//!
+//! For every buffer of a validated chain the algorithm
+//!
+//! 1. derives the bound rate from the throughput constraint
+//!    ([`RateAssignment`], Sections 4.3–4.4),
+//! 2. computes the minimum distance between the space-production and
+//!    space-consumption bounds (Eq. 3, [`PairGaps`]),
+//! 3. converts the distance into a sufficient number of initial tokens on
+//!    the reverse edge (Eq. 4) — the buffer capacity `ζ(b)` in containers,
+//! 4. checks the schedule-validity conditions `ρ(v) ≤ φ(v)` under which
+//!    the existence schedules are admissible.
+//!
+//! The capacities are *sufficient* for the throughput constraint for every
+//! admissible sequence of production and consumption quanta: by
+//! monotonicity and linearity of VRDF, the run-time (self-timed) schedule
+//! can only be a bounded delay of the witness schedules.
+//!
+//! # The strictly periodic actor's space release
+//!
+//! Applying Eq. (3) literally, the throughput-constrained actor `vτ`
+//! contributes its full response time to the bound distance of its
+//! adjacent buffer: containers are freed at its firing *finish*.  The
+//! numbers published for the MP3 case study (d3 = 882) correspond instead
+//! to `vτ` freeing containers at its firing *start* (its response time is
+//! still used for the validity check).  Both conventions are implemented —
+//! see [`ConstrainedRelease`]; the default reproduces the paper's table,
+//! and EXPERIMENTS.md discusses the one-container difference.
+
+use crate::bounds::PairGaps;
+use crate::error::AnalysisError;
+use crate::rates::{ConstraintLocation, RateAssignment, ThroughputConstraint};
+use crate::rational::Rational;
+use crate::taskgraph::{BufferId, ChainView, TaskGraph, TaskId};
+
+/// When the strictly periodic (throughput-constrained) actor frees the
+/// containers it consumed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ConstrainedRelease {
+    /// Containers are freed at the firing start of the constrained actor,
+    /// so its response time does not enter Eq. (3) for the adjacent
+    /// buffer.  Reproduces the published MP3 capacities (d3 = 882).
+    #[default]
+    Immediate,
+    /// Literal Eq. (3): containers are freed `ρ(vτ)` after the firing
+    /// start, like every other actor (d3 = 883 for the MP3 chain).
+    AfterResponseTime,
+}
+
+/// Tunable knobs for [`compute_buffer_capacities_with`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AnalysisOptions {
+    /// Space-release convention of the constrained actor.
+    pub release: ConstrainedRelease,
+    /// When `true` (default), a response time exceeding its bound `φ(v)`
+    /// aborts the analysis with
+    /// [`AnalysisError::InfeasibleResponseTime`]; when `false` the
+    /// violations are reported as [`ChainAnalysis::violations`] and the
+    /// capacities are still computed (useful for what-if exploration).
+    pub enforce_feasibility: bool,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            release: ConstrainedRelease::default(),
+            enforce_feasibility: true,
+        }
+    }
+}
+
+/// A schedule-validity violation: a task whose worst-case response time
+/// exceeds the minimal distance between its consecutive starts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FeasibilityViolation {
+    /// The offending task.
+    pub task: TaskId,
+    /// Its worst-case response time `κ(w)`.
+    pub response_time: Rational,
+    /// The maximum admissible value, `φ(v)`.
+    pub bound: Rational,
+}
+
+/// The computed capacity of one buffer, with the quantities that produced
+/// it (exposed per C-INTERMEDIATE so callers can inspect the analysis).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BufferCapacity {
+    /// The buffer this capacity belongs to.
+    pub buffer: BufferId,
+    /// The buffer's name.
+    pub name: String,
+    /// Sufficient capacity `ζ(b)` in containers (Eq. 4).
+    pub capacity: u64,
+    /// Time per token of the pair's linear bounds.
+    pub token_period: Rational,
+    /// Eq. (1): the producer-side bound distance.
+    pub producer_gap: Rational,
+    /// Eq. (2): the consumer-side bound distance.
+    pub consumer_gap: Rational,
+    /// Eq. (3): the reverse-edge bound distance used by Eq. (4).
+    pub total_gap: Rational,
+    /// `φ` of the producing task.
+    pub producer_phi: Rational,
+    /// `φ` of the consuming task.
+    pub consumer_phi: Rational,
+    /// `π̂(e_ab)` — the producer's maximum quantum.
+    pub producer_max_quantum: u64,
+    /// `γ̂(e_ab)` — the consumer's maximum quantum.
+    pub consumer_max_quantum: u64,
+}
+
+/// The complete result of analysing a chain.
+#[derive(Clone, Debug)]
+pub struct ChainAnalysis {
+    constraint: ThroughputConstraint,
+    options: AnalysisOptions,
+    capacities: Vec<BufferCapacity>,
+    rates: RateAssignment,
+    violations: Vec<FeasibilityViolation>,
+}
+
+impl ChainAnalysis {
+    /// Per-buffer capacities in source-to-sink order.
+    #[inline]
+    pub fn capacities(&self) -> &[BufferCapacity] {
+        &self.capacities
+    }
+
+    /// The capacity computed for a specific buffer, if it is part of the
+    /// analysed chain.
+    pub fn capacity_of(&self, buffer: BufferId) -> Option<&BufferCapacity> {
+        self.capacities.iter().find(|c| c.buffer == buffer)
+    }
+
+    /// The rate assignment (per-task `φ`, per-buffer bound rates).
+    #[inline]
+    pub fn rates(&self) -> &RateAssignment {
+        &self.rates
+    }
+
+    /// The throughput constraint that was analysed.
+    #[inline]
+    pub fn constraint(&self) -> ThroughputConstraint {
+        self.constraint
+    }
+
+    /// The options the analysis ran with.
+    #[inline]
+    pub fn options(&self) -> AnalysisOptions {
+        self.options
+    }
+
+    /// Schedule-validity violations (empty unless
+    /// [`AnalysisOptions::enforce_feasibility`] was disabled).
+    #[inline]
+    pub fn violations(&self) -> &[FeasibilityViolation] {
+        &self.violations
+    }
+
+    /// Sum of all buffer capacities in containers — the figure of merit
+    /// the paper's evaluation compares.
+    pub fn total_capacity(&self) -> u64 {
+        self.capacities.iter().map(|c| c.capacity).sum()
+    }
+
+    /// Writes the computed capacities back into the task graph's `ζ`.
+    pub fn apply(&self, tg: &mut TaskGraph) {
+        for c in &self.capacities {
+            tg.set_capacity(c.buffer, c.capacity);
+        }
+    }
+}
+
+/// Computes sufficient buffer capacities for a chain-shaped task graph
+/// under a throughput constraint, with default [`AnalysisOptions`].
+///
+/// This is the algorithm of the paper; see the module documentation for
+/// the steps.
+///
+/// # Errors
+///
+/// * Chain-topology errors from [`TaskGraph::chain`].
+/// * [`AnalysisError::ConstraintNotOnEndpoint`] is never produced here —
+///   the constraint's endpoint is implied by its
+///   [`location`](ThroughputConstraint::location).
+/// * [`AnalysisError::ZeroQuantumNotSupported`] from rate derivation.
+/// * [`AnalysisError::InfeasibleResponseTime`] when a response time
+///   exceeds `φ(v)`.
+///
+/// # Examples
+///
+/// The Fig. 1 pair under a throughput constraint of one `wb` firing per 3
+/// time units:
+///
+/// ```
+/// use vrdf_core::{
+///     compute_buffer_capacities, QuantumSet, Rational, TaskGraph, ThroughputConstraint,
+/// };
+///
+/// let tg = TaskGraph::linear_chain(
+///     [("wa", Rational::ONE), ("wb", Rational::ONE)],
+///     [("b", QuantumSet::constant(3), QuantumSet::new([2, 3])?)],
+/// )?;
+/// let analysis = compute_buffer_capacities(
+///     &tg,
+///     ThroughputConstraint::on_sink(Rational::from(3u64))?,
+/// )?;
+/// assert_eq!(analysis.capacities().len(), 1);
+/// # Ok::<(), vrdf_core::AnalysisError>(())
+/// ```
+pub fn compute_buffer_capacities(
+    tg: &TaskGraph,
+    constraint: ThroughputConstraint,
+) -> Result<ChainAnalysis, AnalysisError> {
+    compute_buffer_capacities_with(tg, constraint, AnalysisOptions::default())
+}
+
+/// Like [`compute_buffer_capacities`], with explicit [`AnalysisOptions`].
+///
+/// # Errors
+///
+/// See [`compute_buffer_capacities`]; with
+/// `options.enforce_feasibility == false` validity violations are reported
+/// in the result instead of failing.
+pub fn compute_buffer_capacities_with(
+    tg: &TaskGraph,
+    constraint: ThroughputConstraint,
+    options: AnalysisOptions,
+) -> Result<ChainAnalysis, AnalysisError> {
+    let chain = tg.chain()?;
+    let rates = RateAssignment::derive(tg, &chain, constraint)?;
+
+    // Schedule-validity conditions (Section 4.2).
+    let mut violations = Vec::new();
+    for &task in chain.tasks() {
+        let rho = tg.task(task).response_time();
+        let bound = rates.phi(task);
+        if rho > bound {
+            if options.enforce_feasibility {
+                return Err(AnalysisError::InfeasibleResponseTime {
+                    actor: tg.task(task).name().to_owned(),
+                    response_time: rho,
+                    bound,
+                });
+            }
+            violations.push(FeasibilityViolation {
+                task,
+                response_time: rho,
+                bound,
+            });
+        }
+    }
+
+    let constrained_task = match constraint.location() {
+        ConstraintLocation::Sink => chain.sink(),
+        ConstraintLocation::Source => chain.source(),
+    };
+
+    let mut capacities = Vec::with_capacity(chain.buffers().len());
+    for (i, pair) in rates.pairs().iter().enumerate() {
+        let buffer_id = chain.buffers()[i];
+        debug_assert_eq!(pair.buffer, buffer_id);
+        let buffer = tg.buffer(buffer_id);
+        let producer = buffer.producer();
+        let consumer = buffer.consumer();
+
+        let effective_rho = |task: TaskId| -> Rational {
+            if task == constrained_task && options.release == ConstrainedRelease::Immediate {
+                Rational::ZERO
+            } else {
+                tg.task(task).response_time()
+            }
+        };
+
+        let gaps = PairGaps::new(
+            pair.token_period,
+            effective_rho(producer),
+            effective_rho(consumer),
+            buffer.production().max(),
+            buffer.consumption().max(),
+        );
+        capacities.push(BufferCapacity {
+            buffer: buffer_id,
+            name: buffer.name().to_owned(),
+            capacity: gaps.sufficient_initial_tokens(),
+            token_period: gaps.token_period(),
+            producer_gap: gaps.producer_gap(),
+            consumer_gap: gaps.consumer_gap(),
+            total_gap: gaps.total_gap(),
+            producer_phi: pair.producer_phi,
+            consumer_phi: pair.consumer_phi,
+            producer_max_quantum: buffer.production().max(),
+            consumer_max_quantum: buffer.consumption().max(),
+        });
+    }
+
+    Ok(ChainAnalysis {
+        constraint,
+        options,
+        capacities,
+        rates,
+        violations,
+    })
+}
+
+/// Analyses a single producer–consumer pair without building a
+/// [`TaskGraph`]: the two-actor configuration of Fig. 2.
+///
+/// `production` and `consumption` are `ξ(b)` / `λ(b)`; `period` is the
+/// consumer's strict period `τ`.  The consumer is the constrained actor.
+///
+/// # Errors
+///
+/// Same as [`compute_buffer_capacities`].
+///
+/// # Examples
+///
+/// ```
+/// use vrdf_core::{pair_capacity, QuantumSet, Rational};
+///
+/// // Fig. 2 with m = {3}, n = {2,3}, zero response times.
+/// let cap = pair_capacity(
+///     QuantumSet::constant(3),
+///     QuantumSet::new([2, 3])?,
+///     Rational::ZERO,
+///     Rational::ZERO,
+///     Rational::from(3u64),
+/// )?;
+/// assert_eq!(cap.capacity, 5); // pi_hat + gamma_hat - 1
+/// # Ok::<(), vrdf_core::AnalysisError>(())
+/// ```
+pub fn pair_capacity(
+    production: crate::quantum::QuantumSet,
+    consumption: crate::quantum::QuantumSet,
+    producer_response: Rational,
+    consumer_response: Rational,
+    period: Rational,
+) -> Result<BufferCapacity, AnalysisError> {
+    let tg = {
+        let mut tg = TaskGraph::new();
+        let a = tg.add_task("producer", producer_response)?;
+        let b = tg.add_task("consumer", consumer_response)?;
+        tg.connect("pair", a, b, production, consumption)?;
+        tg
+    };
+    let analysis = compute_buffer_capacities_with(
+        &tg,
+        ThroughputConstraint::on_sink(period)?,
+        AnalysisOptions {
+            release: ConstrainedRelease::AfterResponseTime,
+            enforce_feasibility: true,
+        },
+    )?;
+    Ok(analysis.capacities()[0].clone())
+}
+
+/// Validates a chain and returns it together with its rate assignment —
+/// the intermediate results of the analysis, per C-INTERMEDIATE.
+///
+/// # Errors
+///
+/// Chain-topology errors from [`TaskGraph::chain`] and rate errors from
+/// [`RateAssignment::derive`].
+pub fn derive_rates(
+    tg: &TaskGraph,
+    constraint: ThroughputConstraint,
+) -> Result<(ChainView, RateAssignment), AnalysisError> {
+    let chain = tg.chain()?;
+    let rates = RateAssignment::derive(tg, &chain, constraint)?;
+    Ok((chain, rates))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantum::QuantumSet;
+    use crate::rational::rat;
+
+    fn q(values: &[u64]) -> QuantumSet {
+        QuantumSet::new(values.iter().copied()).unwrap()
+    }
+
+    /// The MP3 playback chain of Fig. 5 / Section 5.  Times in seconds.
+    pub(crate) fn mp3_task_graph() -> TaskGraph {
+        TaskGraph::linear_chain(
+            [
+                ("vBR", rat(512, 10000)),
+                ("vMP3", rat(24, 1000)),
+                ("vSRC", rat(10, 1000)),
+                ("vDAC", rat(1, 44100)),
+            ],
+            [
+                (
+                    "d1",
+                    QuantumSet::constant(2048),
+                    QuantumSet::range_inclusive(0, 960).unwrap(),
+                ),
+                ("d2", QuantumSet::constant(1152), QuantumSet::constant(480)),
+                ("d3", QuantumSet::constant(441), QuantumSet::constant(1)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn mp3_capacities_match_section_5() {
+        let tg = mp3_task_graph();
+        let analysis = compute_buffer_capacities(
+            &tg,
+            ThroughputConstraint::on_sink(rat(1, 44100)).unwrap(),
+        )
+        .unwrap();
+        let caps: Vec<u64> = analysis.capacities().iter().map(|c| c.capacity).collect();
+        assert_eq!(caps, vec![6015, 3263, 882], "published Section 5 numbers");
+        assert_eq!(analysis.total_capacity(), 6015 + 3263 + 882);
+        assert!(analysis.violations().is_empty());
+    }
+
+    #[test]
+    fn mp3_capacities_literal_eq3() {
+        // With the constrained actor's full response time in Eq. (3), the
+        // last buffer gains exactly one container.
+        let tg = mp3_task_graph();
+        let analysis = compute_buffer_capacities_with(
+            &tg,
+            ThroughputConstraint::on_sink(rat(1, 44100)).unwrap(),
+            AnalysisOptions {
+                release: ConstrainedRelease::AfterResponseTime,
+                enforce_feasibility: true,
+            },
+        )
+        .unwrap();
+        let caps: Vec<u64> = analysis.capacities().iter().map(|c| c.capacity).collect();
+        assert_eq!(caps, vec![6015, 3263, 883]);
+    }
+
+    #[test]
+    fn mp3_gaps_are_exact() {
+        let tg = mp3_task_graph();
+        let analysis = compute_buffer_capacities(
+            &tg,
+            ThroughputConstraint::on_sink(rat(1, 44100)).unwrap(),
+        )
+        .unwrap();
+        let d2 = &analysis.capacities()[1];
+        // token period: 10 ms / 480.
+        assert_eq!(d2.token_period, rat(1, 100) / rat(480, 1));
+        // Eq (3) for d2: 24ms + 10ms + t*(1151 + 479) = 34ms + 163/4800 s.
+        assert_eq!(d2.total_gap, rat(34, 1000) + d2.token_period * rat(1630, 1));
+        assert_eq!(d2.producer_max_quantum, 1152);
+        assert_eq!(d2.consumer_max_quantum, 480);
+        assert_eq!(d2.name, "d2");
+    }
+
+    #[test]
+    fn capacity_of_lookup() {
+        let tg = mp3_task_graph();
+        let analysis = compute_buffer_capacities(
+            &tg,
+            ThroughputConstraint::on_sink(rat(1, 44100)).unwrap(),
+        )
+        .unwrap();
+        let d3 = tg.buffer_by_name("d3").unwrap();
+        assert_eq!(analysis.capacity_of(d3).unwrap().capacity, 882);
+        assert_eq!(analysis.capacity_of(BufferId(99)), None);
+    }
+
+    #[test]
+    fn apply_writes_capacities_back() {
+        let mut tg = mp3_task_graph();
+        let analysis = compute_buffer_capacities(
+            &tg,
+            ThroughputConstraint::on_sink(rat(1, 44100)).unwrap(),
+        )
+        .unwrap();
+        analysis.apply(&mut tg);
+        assert_eq!(
+            tg.buffer(tg.buffer_by_name("d1").unwrap()).capacity(),
+            Some(6015)
+        );
+    }
+
+    #[test]
+    fn infeasible_response_time_is_reported() {
+        // vSRC's bound is 10 ms; give it 11 ms.
+        let tg = TaskGraph::linear_chain(
+            [
+                ("slow", rat(11, 1000)),
+                ("snk", rat(1, 44100)),
+            ],
+            [("b", QuantumSet::constant(441), QuantumSet::constant(1))],
+        )
+        .unwrap();
+        let err = compute_buffer_capacities(
+            &tg,
+            ThroughputConstraint::on_sink(rat(1, 44100)).unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AnalysisError::InfeasibleResponseTime { .. }));
+
+        // Without enforcement the analysis completes and reports the
+        // violation.
+        let analysis = compute_buffer_capacities_with(
+            &tg,
+            ThroughputConstraint::on_sink(rat(1, 44100)).unwrap(),
+            AnalysisOptions {
+                release: ConstrainedRelease::Immediate,
+                enforce_feasibility: false,
+            },
+        )
+        .unwrap();
+        assert_eq!(analysis.violations().len(), 1);
+        assert_eq!(analysis.violations()[0].bound, rat(10, 1000));
+        assert_eq!(analysis.capacities().len(), 1);
+    }
+
+    #[test]
+    fn fig1_constant_consumption_capacities() {
+        // The introduction's observation: with n constant 3 the minimal
+        // deadlock-free capacity is 3; with n constant 2 it is 4.  Eq. (4)
+        // with zero response times gives the deadlock-free minimum
+        // pi_hat + gamma_hat - 1 for a pair.
+        let c3 = pair_capacity(
+            q(&[3]),
+            q(&[3]),
+            Rational::ZERO,
+            Rational::ZERO,
+            rat(3, 1),
+        )
+        .unwrap();
+        // pi_hat + gamma_hat - 1 = 5 >= 3: sufficient but not minimal;
+        // Eq. (4) is a sufficiency bound, not a minimum.
+        assert_eq!(c3.capacity, 5);
+        let c23 = pair_capacity(
+            q(&[3]),
+            q(&[2, 3]),
+            Rational::ZERO,
+            Rational::ZERO,
+            rat(3, 1),
+        )
+        .unwrap();
+        assert_eq!(c23.capacity, 5);
+        // The variable set never needs less than its constant-max variant.
+        assert!(c23.capacity >= c3.capacity);
+    }
+
+    #[test]
+    fn source_constrained_chain() {
+        // Mirror of the sink case: source strictly periodic.
+        let tg = TaskGraph::linear_chain(
+            [("src", rat(1, 10)), ("mid", rat(1, 20)), ("snk", rat(1, 40))],
+            [
+                ("b0", q(&[4]), q(&[2])),
+                ("b1", q(&[3]), q(&[1])),
+            ],
+        )
+        .unwrap();
+        let analysis = compute_buffer_capacities(
+            &tg,
+            ThroughputConstraint::on_source(rat(2, 5)).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(analysis.capacities().len(), 2);
+        // token period of b0 = tau / pi_hat = (2/5)/4 = 1/10.
+        assert_eq!(analysis.capacities()[0].token_period, rat(1, 10));
+        // phi(mid) = (1/10)*2 = 1/5; token period of b1 = (1/5)/3 = 1/15.
+        assert_eq!(analysis.capacities()[1].token_period, rat(1, 15));
+        // Source-constrained + Immediate: the source's rho is excluded on b0.
+        let b0 = &analysis.capacities()[0];
+        // gap = 0 + rho(mid) + t*(4-1) + t*(2-1) = 1/20 + 4/10.
+        assert_eq!(b0.total_gap, rat(1, 20) + rat(4, 10));
+        // d = floor(gap/t + 1) = floor(4.5 + 1) = 5.
+        assert_eq!(b0.capacity, 5);
+    }
+
+    #[test]
+    fn derive_rates_exposes_intermediates() {
+        let tg = mp3_task_graph();
+        let (chain, rates) = derive_rates(
+            &tg,
+            ThroughputConstraint::on_sink(rat(1, 44100)).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(chain.len(), 4);
+        assert_eq!(rates.pairs().len(), 3);
+    }
+
+    #[test]
+    fn zero_response_time_pair_minimum() {
+        // d = pi_hat + gamma_hat - 1 for zero response times, a classic
+        // sanity bound.
+        for (p, c) in [(1u64, 1u64), (3, 2), (7, 5), (441, 1)] {
+            let cap = pair_capacity(
+                q(&[p]),
+                q(&[c]),
+                Rational::ZERO,
+                Rational::ZERO,
+                rat(c as i128, 1),
+            )
+            .unwrap();
+            assert_eq!(cap.capacity, p + c - 1, "pair ({p},{c})");
+        }
+    }
+}

@@ -1,0 +1,546 @@
+//! The Variable-Rate Dataflow (VRDF) analysis model `G = (V, E, π, γ, δ, ρ)`
+//! of Section 3.2, and its construction from a task graph (Section 3.3).
+//!
+//! A firing of an actor is enabled when every input edge holds enough
+//! tokens.  The consumption quantum per firing on edge `e` is drawn from
+//! `γ(e)`, the production quantum from `π(e)`.  Tokens are consumed
+//! atomically at the *start* of a firing and produced atomically `ρ(v)`
+//! later at its *finish*; an actor never starts a firing before its
+//! previous firing finished.
+//!
+//! Two structural theorems drive the whole buffer-capacity approach, and
+//! both follow from the firing rules being independent of start times:
+//!
+//! * **Monotonic execution** (Definition 1): starting any firing earlier
+//!   can never make any other firing start later.
+//! * **Linear temporal behaviour** (Definition 2): delaying a start by Δ
+//!   delays every other start by at most Δ.
+//!
+//! A buffer `b_ab` becomes a *pair of opposite edges*: the forward edge
+//! carries data tokens (`π(e_ab) = ξ(b)`, `γ(e_ab) = λ(b)`), the reverse
+//! edge carries *space* tokens (`π(e_ba) = λ(b)`, `γ(e_ba) = ξ(b)`), and
+//! the buffer capacity appears as the initial tokens `δ(e_ba) = ζ(b)`.
+
+use std::fmt;
+
+use crate::error::AnalysisError;
+use crate::quantum::QuantumSet;
+use crate::rational::Rational;
+use crate::taskgraph::{BufferId, TaskGraph, TaskId};
+
+/// Opaque handle to an actor inside a [`VrdfGraph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ActorId(pub(crate) usize);
+
+/// Opaque handle to an edge inside a [`VrdfGraph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub(crate) usize);
+
+impl ActorId {
+    /// Position of the actor in insertion order.
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl EdgeId {
+    /// Position of the edge in insertion order.
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for ActorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A dataflow actor `v ∈ V` with response time `ρ(v)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Actor {
+    name: String,
+    response_time: Rational,
+}
+
+impl Actor {
+    /// The actor's name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Response time `ρ(v)`: tokens are consumed at a firing's start and
+    /// produced `ρ(v)` later at its finish.
+    #[inline]
+    pub fn response_time(&self) -> Rational {
+        self.response_time
+    }
+}
+
+/// A dataflow edge `e ∈ E` with production quanta `π(e)`, consumption
+/// quanta `γ(e)`, and initial tokens `δ(e)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Edge {
+    name: String,
+    source: ActorId,
+    target: ActorId,
+    production: QuantumSet,
+    consumption: QuantumSet,
+    initial_tokens: u64,
+}
+
+impl Edge {
+    /// The edge's name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The producing actor.
+    #[inline]
+    pub fn source(&self) -> ActorId {
+        self.source
+    }
+
+    /// The consuming actor.
+    #[inline]
+    pub fn target(&self) -> ActorId {
+        self.target
+    }
+
+    /// Production quanta `π(e)`.
+    #[inline]
+    pub fn production(&self) -> &QuantumSet {
+        &self.production
+    }
+
+    /// Consumption quanta `γ(e)`.
+    #[inline]
+    pub fn consumption(&self) -> &QuantumSet {
+        &self.consumption
+    }
+
+    /// Initial tokens `δ(e)`.
+    #[inline]
+    pub fn initial_tokens(&self) -> u64 {
+        self.initial_tokens
+    }
+}
+
+/// The VRDF graph `G = (V, E, π, γ, δ, ρ)`.
+///
+/// # Examples
+///
+/// Build the producer–consumer pair of Fig. 2 directly:
+///
+/// ```
+/// use vrdf_core::{QuantumSet, Rational, VrdfGraph};
+///
+/// let mut g = VrdfGraph::new();
+/// let va = g.add_actor("va", Rational::new(1, 10))?;
+/// let vb = g.add_actor("vb", Rational::new(1, 10))?;
+/// // Forward (data) edge: va produces m = {3}, vb consumes n = {2,3}.
+/// g.add_edge("e_ab", va, vb, QuantumSet::constant(3), QuantumSet::new([2, 3])?, 0)?;
+/// // Reverse (space) edge with d initial tokens.
+/// g.add_edge("e_ba", vb, va, QuantumSet::new([2, 3])?, QuantumSet::constant(3), 4)?;
+/// assert_eq!(g.actor_count(), 2);
+/// # Ok::<(), vrdf_core::AnalysisError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct VrdfGraph {
+    actors: Vec<Actor>,
+    edges: Vec<Edge>,
+    outgoing: Vec<Vec<EdgeId>>,
+    incoming: Vec<Vec<EdgeId>>,
+}
+
+impl VrdfGraph {
+    /// Creates an empty VRDF graph.
+    pub fn new() -> VrdfGraph {
+        VrdfGraph::default()
+    }
+
+    /// Adds an actor with response time `ρ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::DuplicateName`] or
+    /// [`AnalysisError::NegativeResponseTime`].
+    pub fn add_actor(
+        &mut self,
+        name: impl Into<String>,
+        response_time: Rational,
+    ) -> Result<ActorId, AnalysisError> {
+        let name = name.into();
+        if self.actors.iter().any(|a| a.name == name) {
+            return Err(AnalysisError::DuplicateName(name));
+        }
+        if response_time.is_negative() {
+            return Err(AnalysisError::NegativeResponseTime {
+                name,
+                value: response_time,
+            });
+        }
+        let id = ActorId(self.actors.len());
+        self.actors.push(Actor {
+            name,
+            response_time,
+        });
+        self.outgoing.push(Vec::new());
+        self.incoming.push(Vec::new());
+        Ok(id)
+    }
+
+    /// Adds an edge from `source` to `target` with quanta `π`, `γ` and
+    /// `δ` initial tokens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::DuplicateName`] for a reused edge name and
+    /// [`AnalysisError::UnknownName`] for foreign actor handles.
+    pub fn add_edge(
+        &mut self,
+        name: impl Into<String>,
+        source: ActorId,
+        target: ActorId,
+        production: QuantumSet,
+        consumption: QuantumSet,
+        initial_tokens: u64,
+    ) -> Result<EdgeId, AnalysisError> {
+        let name = name.into();
+        if self.edges.iter().any(|e| e.name == name) {
+            return Err(AnalysisError::DuplicateName(name));
+        }
+        for id in [source, target] {
+            if id.0 >= self.actors.len() {
+                return Err(AnalysisError::UnknownName(format!("{id}")));
+            }
+        }
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Edge {
+            name,
+            source,
+            target,
+            production,
+            consumption,
+            initial_tokens,
+        });
+        self.outgoing[source.0].push(id);
+        self.incoming[target.0].push(id);
+        Ok(id)
+    }
+
+    /// Overwrites the initial tokens `δ(e)` of an edge (used to install
+    /// computed buffer capacities).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `edge` does not belong to this graph.
+    pub fn set_initial_tokens(&mut self, edge: EdgeId, tokens: u64) {
+        self.edges[edge.0].initial_tokens = tokens;
+    }
+
+    /// Number of actors.
+    #[inline]
+    pub fn actor_count(&self) -> usize {
+        self.actors.len()
+    }
+
+    /// Number of edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The actor behind a handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    #[inline]
+    pub fn actor(&self, id: ActorId) -> &Actor {
+        &self.actors[id.0]
+    }
+
+    /// The edge behind a handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    #[inline]
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.0]
+    }
+
+    /// Looks an actor up by name.
+    pub fn actor_by_name(&self, name: &str) -> Option<ActorId> {
+        self.actors.iter().position(|a| a.name == name).map(ActorId)
+    }
+
+    /// Looks an edge up by name.
+    pub fn edge_by_name(&self, name: &str) -> Option<EdgeId> {
+        self.edges.iter().position(|e| e.name == name).map(EdgeId)
+    }
+
+    /// Iterates over all actors with their handles.
+    pub fn actors(&self) -> impl Iterator<Item = (ActorId, &Actor)> {
+        self.actors
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (ActorId(i), a))
+    }
+
+    /// Iterates over all edges with their handles.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, &Edge)> {
+        self.edges.iter().enumerate().map(|(i, e)| (EdgeId(i), e))
+    }
+
+    /// Edges leaving an actor.
+    pub fn outgoing(&self, actor: ActorId) -> &[EdgeId] {
+        &self.outgoing[actor.0]
+    }
+
+    /// Edges entering an actor.
+    pub fn incoming(&self, actor: ActorId) -> &[EdgeId] {
+        &self.incoming[actor.0]
+    }
+
+    /// Constructs the VRDF graph modelling a task graph (Section 3.3)
+    /// together with the correspondence between the two models.
+    ///
+    /// Every task becomes an actor with `ρ(v) = κ(w)`; every buffer
+    /// `b_ab` becomes edges `e_ab` (data) and `e_ba` (space) with
+    /// `π(e_ab) = γ(e_ba) = ξ(b)`, `γ(e_ab) = π(e_ba) = λ(b)` and
+    /// `δ(e_ba) = ζ(b)` (0 when the capacity is still unset).  Buffers are
+    /// initially empty, so `δ(e_ab) = 0`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates name or response-time errors from the underlying
+    /// builders (none occur for a well-formed task graph).
+    pub fn from_task_graph(tg: &TaskGraph) -> Result<(VrdfGraph, ModelMapping), AnalysisError> {
+        let mut g = VrdfGraph::new();
+        let mut actor_of_task = Vec::with_capacity(tg.task_count());
+        for (_, task) in tg.tasks() {
+            actor_of_task.push(g.add_actor(task.name(), task.response_time())?);
+        }
+        let mut edges_of_buffer = Vec::with_capacity(tg.buffer_count());
+        for (_, buffer) in tg.buffers() {
+            let va = actor_of_task[buffer.producer().index()];
+            let vb = actor_of_task[buffer.consumer().index()];
+            let data = g.add_edge(
+                format!("{}.data", buffer.name()),
+                va,
+                vb,
+                buffer.production().clone(),
+                buffer.consumption().clone(),
+                0,
+            )?;
+            let space = g.add_edge(
+                format!("{}.space", buffer.name()),
+                vb,
+                va,
+                buffer.consumption().clone(),
+                buffer.production().clone(),
+                buffer.capacity().unwrap_or(0),
+            )?;
+            edges_of_buffer.push(BufferEdges { data, space });
+        }
+        Ok((
+            g,
+            ModelMapping {
+                actor_of_task,
+                edges_of_buffer,
+            },
+        ))
+    }
+
+    /// Checks that a pair of opposite edges correctly models one buffer:
+    /// the reverse edge's quanta must mirror the forward edge's
+    /// (`π(e_ba) = γ(e_ab)` and `γ(e_ba) = π(e_ab)`), and they must connect
+    /// the same two actors in opposite directions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::InconsistentBufferModel`] on a mismatch.
+    pub fn check_buffer_pair(&self, data: EdgeId, space: EdgeId) -> Result<(), AnalysisError> {
+        let d = self.edge(data);
+        let s = self.edge(space);
+        let ok = d.source == s.target
+            && d.target == s.source
+            && d.production == s.consumption
+            && d.consumption == s.production;
+        if ok {
+            Ok(())
+        } else {
+            Err(AnalysisError::InconsistentBufferModel {
+                buffer: d.name.clone(),
+            })
+        }
+    }
+}
+
+/// The forward (data) and reverse (space) edges modelling one buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BufferEdges {
+    /// The data edge `e_ab`; tokens model full containers.
+    pub data: EdgeId,
+    /// The space edge `e_ba`; tokens model empty containers, and its
+    /// initial tokens equal the buffer capacity `ζ(b)`.
+    pub space: EdgeId,
+}
+
+/// Correspondence between a [`TaskGraph`] and the [`VrdfGraph`] built from
+/// it by [`VrdfGraph::from_task_graph`].
+#[derive(Clone, Debug)]
+pub struct ModelMapping {
+    actor_of_task: Vec<ActorId>,
+    edges_of_buffer: Vec<BufferEdges>,
+}
+
+impl ModelMapping {
+    /// The actor modelling a task.
+    #[inline]
+    pub fn actor(&self, task: TaskId) -> ActorId {
+        self.actor_of_task[task.index()]
+    }
+
+    /// The edge pair modelling a buffer.
+    #[inline]
+    pub fn edges(&self, buffer: BufferId) -> BufferEdges {
+        self.edges_of_buffer[buffer.index()]
+    }
+
+    /// All buffer-to-edge-pair associations, in buffer order.
+    #[inline]
+    pub fn buffer_edges(&self) -> &[BufferEdges] {
+        &self.edges_of_buffer
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rational::rat;
+
+    fn q(values: &[u64]) -> QuantumSet {
+        QuantumSet::new(values.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn build_and_query() {
+        let mut g = VrdfGraph::new();
+        let a = g.add_actor("va", rat(1, 10)).unwrap();
+        let b = g.add_actor("vb", rat(1, 20)).unwrap();
+        let e = g.add_edge("e", a, b, q(&[3]), q(&[2, 3]), 5).unwrap();
+        assert_eq!(g.actor_count(), 2);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.actor(a).name(), "va");
+        assert_eq!(g.actor(b).response_time(), rat(1, 20));
+        assert_eq!(g.edge(e).source(), a);
+        assert_eq!(g.edge(e).target(), b);
+        assert_eq!(g.edge(e).initial_tokens(), 5);
+        assert_eq!(g.outgoing(a), &[e]);
+        assert_eq!(g.incoming(b), &[e]);
+        assert!(g.outgoing(b).is_empty());
+        assert_eq!(g.actor_by_name("vb"), Some(b));
+        assert_eq!(g.edge_by_name("e"), Some(e));
+        assert_eq!(g.actor_by_name("nope"), None);
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut g = VrdfGraph::new();
+        let a = g.add_actor("v", rat(1, 1)).unwrap();
+        assert!(g.add_actor("v", rat(1, 1)).is_err());
+        let b = g.add_actor("w", rat(1, 1)).unwrap();
+        g.add_edge("e", a, b, q(&[1]), q(&[1]), 0).unwrap();
+        assert!(g.add_edge("e", b, a, q(&[1]), q(&[1]), 0).is_err());
+    }
+
+    #[test]
+    fn foreign_actor_rejected() {
+        let mut g = VrdfGraph::new();
+        let a = g.add_actor("v", rat(1, 1)).unwrap();
+        assert!(matches!(
+            g.add_edge("e", a, ActorId(9), q(&[1]), q(&[1]), 0),
+            Err(AnalysisError::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn set_initial_tokens() {
+        let mut g = VrdfGraph::new();
+        let a = g.add_actor("v", rat(1, 1)).unwrap();
+        let b = g.add_actor("w", rat(1, 1)).unwrap();
+        let e = g.add_edge("e", a, b, q(&[1]), q(&[1]), 0).unwrap();
+        g.set_initial_tokens(e, 7);
+        assert_eq!(g.edge(e).initial_tokens(), 7);
+    }
+
+    #[test]
+    fn from_task_graph_builds_edge_pairs() {
+        let mut tg = TaskGraph::new();
+        let wa = tg.add_task("wa", rat(1, 10)).unwrap();
+        let wb = tg.add_task("wb", rat(1, 20)).unwrap();
+        let buf = tg
+            .connect("b_ab", wa, wb, q(&[3]), q(&[2, 3]))
+            .unwrap();
+        tg.set_capacity(buf, 4);
+
+        let (g, map) = VrdfGraph::from_task_graph(&tg).unwrap();
+        assert_eq!(g.actor_count(), 2);
+        assert_eq!(g.edge_count(), 2);
+
+        let BufferEdges { data, space } = map.edges(buf);
+        let d = g.edge(data);
+        let s = g.edge(space);
+        // pi(e_ab) = xi(b), gamma(e_ab) = lambda(b)
+        assert_eq!(d.production(), tg.buffer(buf).production());
+        assert_eq!(d.consumption(), tg.buffer(buf).consumption());
+        // pi(e_ba) = lambda(b), gamma(e_ba) = xi(b)
+        assert_eq!(s.production(), tg.buffer(buf).consumption());
+        assert_eq!(s.consumption(), tg.buffer(buf).production());
+        // delta(e_ba) = zeta(b); data edge initially empty.
+        assert_eq!(s.initial_tokens(), 4);
+        assert_eq!(d.initial_tokens(), 0);
+        // Actor correspondence and response times.
+        assert_eq!(g.actor(map.actor(wa)).name(), "wa");
+        assert_eq!(g.actor(map.actor(wb)).response_time(), rat(1, 20));
+        // The pair is mutually consistent.
+        g.check_buffer_pair(data, space).unwrap();
+        assert_eq!(map.buffer_edges().len(), 1);
+    }
+
+    #[test]
+    fn from_task_graph_without_capacity_defaults_to_zero() {
+        let mut tg = TaskGraph::new();
+        let wa = tg.add_task("wa", rat(1, 10)).unwrap();
+        let wb = tg.add_task("wb", rat(1, 20)).unwrap();
+        let buf = tg.connect("b", wa, wb, q(&[2]), q(&[2])).unwrap();
+        let (g, map) = VrdfGraph::from_task_graph(&tg).unwrap();
+        assert_eq!(g.edge(map.edges(buf).space).initial_tokens(), 0);
+    }
+
+    #[test]
+    fn inconsistent_pair_detected() {
+        let mut g = VrdfGraph::new();
+        let a = g.add_actor("va", rat(1, 1)).unwrap();
+        let b = g.add_actor("vb", rat(1, 1)).unwrap();
+        let d = g.add_edge("d", a, b, q(&[3]), q(&[2]), 0).unwrap();
+        let s = g.add_edge("s", b, a, q(&[3]), q(&[2]), 0).unwrap();
+        assert!(matches!(
+            g.check_buffer_pair(d, s),
+            Err(AnalysisError::InconsistentBufferModel { .. })
+        ));
+    }
+}

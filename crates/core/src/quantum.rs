@@ -1,0 +1,303 @@
+//! Finite sets of transfer quanta, the `Pf(N)` of the paper.
+//!
+//! Production quanta `π(e)` / `ξ(b)` and consumption quanta `γ(e)` / `λ(b)`
+//! are *finite, non-empty subsets of ℕ*.  A task may transfer a different
+//! quantum in every execution, drawn from its set — this is exactly what
+//! makes the communication *data dependent*.  The analysis only ever needs
+//! the minimum and maximum of a set, but the simulator draws arbitrary
+//! members, so the full set is kept.
+//!
+//! The paper excludes the empty set and the set `{0}` for task-graph
+//! annotations (a task that never transfers anything), while Section 4.2
+//! explicitly allows individual firings with a zero quantum (e.g. an MP3
+//! decoder firing that consumes no bytes).  [`QuantumSet`] therefore allows
+//! `0` as a member but rejects empty sets and the pure `{0}` set.
+
+use std::fmt;
+
+use crate::error::AnalysisError;
+
+/// A finite, non-empty set of transfer quanta (tokens or containers per
+/// firing), with at least one strictly positive member.
+///
+/// Stored sorted and deduplicated, so [`QuantumSet::min`] and
+/// [`QuantumSet::max`] are O(1).
+///
+/// # Examples
+///
+/// ```
+/// use vrdf_core::QuantumSet;
+///
+/// let n = QuantumSet::new([2, 3])?;          // the Fig. 1 consumer
+/// assert_eq!(n.min(), 2);
+/// assert_eq!(n.max(), 3);
+/// assert!(!n.is_constant());
+///
+/// let m = QuantumSet::constant(3);           // the Fig. 1 producer
+/// assert!(m.is_constant());
+/// # Ok::<(), vrdf_core::AnalysisError>(())
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct QuantumSet {
+    /// Sorted, deduplicated, non-empty.
+    values: Vec<u64>,
+}
+
+impl QuantumSet {
+    /// Creates a quantum set from any collection of values.
+    ///
+    /// Values are sorted and deduplicated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::EmptyQuantumSet`] for an empty collection
+    /// and [`AnalysisError::ZeroOnlyQuantumSet`] when every member is zero
+    /// (the paper's `Pf(N)` excludes both).
+    pub fn new<I: IntoIterator<Item = u64>>(values: I) -> Result<QuantumSet, AnalysisError> {
+        let mut values: Vec<u64> = values.into_iter().collect();
+        values.sort_unstable();
+        values.dedup();
+        if values.is_empty() {
+            return Err(AnalysisError::EmptyQuantumSet);
+        }
+        if *values.last().expect("non-empty") == 0 {
+            return Err(AnalysisError::ZeroOnlyQuantumSet);
+        }
+        Ok(QuantumSet { values })
+    }
+
+    /// Creates the singleton set `{value}` — a data-*independent* quantum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value == 0`; use [`QuantumSet::new`] to build sets that
+    /// merely *contain* zero.
+    pub fn constant(value: u64) -> QuantumSet {
+        assert!(value != 0, "a constant quantum must be strictly positive");
+        QuantumSet {
+            values: vec![value],
+        }
+    }
+
+    /// Creates the contiguous range `{lo, lo+1, …, hi}`.
+    ///
+    /// This models quanta like the MP3 decoder's byte consumption
+    /// `n ∈ {0, …, 960}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::EmptyQuantumSet`] when `lo > hi` and
+    /// [`AnalysisError::ZeroOnlyQuantumSet`] when `lo == hi == 0`.
+    pub fn range_inclusive(lo: u64, hi: u64) -> Result<QuantumSet, AnalysisError> {
+        if lo > hi {
+            return Err(AnalysisError::EmptyQuantumSet);
+        }
+        QuantumSet::new(lo..=hi)
+    }
+
+    /// Minimum quantum, `π̌` / `γ̌` in the paper.
+    #[inline]
+    pub fn min(&self) -> u64 {
+        self.values[0]
+    }
+
+    /// Maximum quantum, `π̂` / `γ̂` in the paper.  Always ≥ 1.
+    #[inline]
+    pub fn max(&self) -> u64 {
+        *self.values.last().expect("quantum sets are non-empty")
+    }
+
+    /// Returns `true` when the set is a singleton, i.e. the transfer is
+    /// data independent.
+    #[inline]
+    pub fn is_constant(&self) -> bool {
+        self.values.len() == 1
+    }
+
+    /// Returns `true` when `0` is a member (some firings may transfer
+    /// nothing; Section 4.2 of the paper).
+    #[inline]
+    pub fn contains_zero(&self) -> bool {
+        self.values[0] == 0
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, value: u64) -> bool {
+        self.values.binary_search(&value).is_ok()
+    }
+
+    /// Number of distinct quanta in the set.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Always `false`: quantum sets are non-empty by construction.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Iterates over the quanta in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u64> + '_ {
+        self.values.iter().copied()
+    }
+
+    /// The quanta as a sorted slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        &self.values
+    }
+
+    /// The singleton set `{max}` — what "maximising the consumption
+    /// quantum" in the paper's introduction would assume.
+    pub fn to_constant_max(&self) -> QuantumSet {
+        QuantumSet::constant(self.max())
+    }
+}
+
+impl fmt::Display for QuantumSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_constant() {
+            return write!(f, "{{{}}}", self.values[0]);
+        }
+        // Render contiguous ranges compactly: {0..960}.
+        let contiguous = self
+            .values
+            .windows(2)
+            .all(|w| w[1] == w[0] + 1);
+        if contiguous && self.values.len() > 3 {
+            write!(f, "{{{}..{}}}", self.min(), self.max())
+        } else {
+            write!(f, "{{")?;
+            for (i, v) in self.values.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{v}")?;
+            }
+            write!(f, "}}")
+        }
+    }
+}
+
+impl From<u64> for QuantumSet {
+    /// Builds the singleton set; equivalent to [`QuantumSet::constant`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value == 0`.
+    fn from(value: u64) -> Self {
+        QuantumSet::constant(value)
+    }
+}
+
+impl TryFrom<Vec<u64>> for QuantumSet {
+    type Error = AnalysisError;
+
+    fn try_from(values: Vec<u64>) -> Result<Self, Self::Error> {
+        QuantumSet::new(values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let q = QuantumSet::new([3, 2, 3, 2]).unwrap();
+        assert_eq!(q.as_slice(), &[2, 3]);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert!(matches!(
+            QuantumSet::new([]),
+            Err(AnalysisError::EmptyQuantumSet)
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_only() {
+        assert!(matches!(
+            QuantumSet::new([0]),
+            Err(AnalysisError::ZeroOnlyQuantumSet)
+        ));
+        assert!(matches!(
+            QuantumSet::new([0, 0]),
+            Err(AnalysisError::ZeroOnlyQuantumSet)
+        ));
+    }
+
+    #[test]
+    fn allows_zero_member() {
+        let q = QuantumSet::new([0, 960]).unwrap();
+        assert!(q.contains_zero());
+        assert_eq!(q.min(), 0);
+        assert_eq!(q.max(), 960);
+    }
+
+    #[test]
+    fn range_inclusive_mp3() {
+        let q = QuantumSet::range_inclusive(0, 960).unwrap();
+        assert_eq!(q.len(), 961);
+        assert_eq!(q.max(), 960);
+        assert!(q.contains(480));
+        assert!(!q.contains(961));
+    }
+
+    #[test]
+    fn range_inclusive_errors() {
+        assert!(matches!(
+            QuantumSet::range_inclusive(5, 4),
+            Err(AnalysisError::EmptyQuantumSet)
+        ));
+        assert!(matches!(
+            QuantumSet::range_inclusive(0, 0),
+            Err(AnalysisError::ZeroOnlyQuantumSet)
+        ));
+    }
+
+    #[test]
+    fn constant_is_constant() {
+        let q = QuantumSet::constant(441);
+        assert!(q.is_constant());
+        assert_eq!(q.min(), 441);
+        assert_eq!(q.max(), 441);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly positive")]
+    fn constant_zero_panics() {
+        let _ = QuantumSet::constant(0);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(QuantumSet::constant(3).to_string(), "{3}");
+        assert_eq!(QuantumSet::new([2, 3]).unwrap().to_string(), "{2,3}");
+        assert_eq!(
+            QuantumSet::range_inclusive(0, 960).unwrap().to_string(),
+            "{0..960}"
+        );
+    }
+
+    #[test]
+    fn to_constant_max() {
+        let q = QuantumSet::new([2, 3]).unwrap();
+        assert_eq!(q.to_constant_max(), QuantumSet::constant(3));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(QuantumSet::from(7), QuantumSet::constant(7));
+        let q: QuantumSet = vec![5, 1].try_into().unwrap();
+        assert_eq!(q.as_slice(), &[1, 5]);
+        let e: Result<QuantumSet, _> = Vec::new().try_into();
+        assert!(e.is_err());
+    }
+}

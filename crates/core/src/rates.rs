@@ -1,0 +1,459 @@
+//! Throughput constraints and rate propagation over chains
+//! (Sections 4.3 and 4.4).
+//!
+//! The application requires one endpoint task to execute *strictly
+//! periodically* with period `τ`: the sink (`vτ` with no output buffers)
+//! or, symmetrically, the source.  From that constraint the analysis
+//! derives, for every producer–consumer pair, the rate that the linear
+//! transfer bounds must have, and for every task `w` the minimal required
+//! difference `φ(v)` between its consecutive starts.
+//!
+//! * **Sink-constrained** (Section 4.3): on each buffer the *consumer*
+//!   determines the rate.  The bound rate of the pair `(w_x, w_y)` is one
+//!   token per `φ(v_y)/γ̂(e_xy)`, and the producer inherits
+//!   `φ(v_x) = φ(v_y)/γ̂(e_xy) · π̌(e_xy)` — the producer must keep up even
+//!   when the consumer always demands its maximum while the producer
+//!   delivers its minimum.
+//! * **Source-constrained** (Section 4.4): production is maximised and
+//!   consumption minimised instead; the bound rate is one token per
+//!   `φ(v_x)/π̂(e_xy)` and `φ(v_y) = φ(v_x)/π̂(e_xy) · γ̌(e_xy)`.
+
+use crate::error::AnalysisError;
+use crate::rational::Rational;
+use crate::taskgraph::{BufferId, ChainView, TaskGraph, TaskId};
+
+/// Which endpoint of the chain carries the throughput constraint.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ConstraintLocation {
+    /// The task without output buffers executes strictly periodically
+    /// (the common case for playback applications; Section 4.2).
+    Sink,
+    /// The task without input buffers executes strictly periodically
+    /// (e.g. a sampling front-end; Section 4.4).
+    Source,
+}
+
+/// A strict-periodicity requirement on an endpoint of the chain.
+///
+/// # Examples
+///
+/// ```
+/// use vrdf_core::{Rational, ThroughputConstraint};
+///
+/// // The DAC of the MP3 application must fire at 44.1 kHz.
+/// let c = ThroughputConstraint::on_sink(Rational::new(1, 44100))?;
+/// assert!(c.period().is_positive());
+/// # Ok::<(), vrdf_core::AnalysisError>(())
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ThroughputConstraint {
+    location: ConstraintLocation,
+    period: Rational,
+}
+
+impl ThroughputConstraint {
+    /// Requires the sink task to execute strictly periodically with
+    /// `period` (`τ`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::NonPositivePeriod`] when `period ≤ 0`.
+    pub fn on_sink(period: Rational) -> Result<ThroughputConstraint, AnalysisError> {
+        Self::checked(ConstraintLocation::Sink, period)
+    }
+
+    /// Requires the source task to execute strictly periodically with
+    /// `period` (`τ`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::NonPositivePeriod`] when `period ≤ 0`.
+    pub fn on_source(period: Rational) -> Result<ThroughputConstraint, AnalysisError> {
+        Self::checked(ConstraintLocation::Source, period)
+    }
+
+    fn checked(
+        location: ConstraintLocation,
+        period: Rational,
+    ) -> Result<ThroughputConstraint, AnalysisError> {
+        if !period.is_positive() {
+            return Err(AnalysisError::NonPositivePeriod(period));
+        }
+        Ok(ThroughputConstraint { location, period })
+    }
+
+    /// Where the constraint sits.
+    #[inline]
+    pub fn location(&self) -> ConstraintLocation {
+        self.location
+    }
+
+    /// The required period `τ`.
+    #[inline]
+    pub fn period(&self) -> Rational {
+        self.period
+    }
+}
+
+/// Per-buffer timing derived from the throughput constraint: the rate of
+/// the linear bounds for that producer–consumer pair.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PairTiming {
+    /// The buffer this timing belongs to.
+    pub buffer: BufferId,
+    /// Time per token of the linear bounds on this buffer's edges
+    /// (`φ(v_y)/γ̂(e_xy)` sink-constrained, `φ(v_x)/π̂(e_xy)`
+    /// source-constrained).
+    pub token_period: Rational,
+    /// `φ` of the producing task.
+    pub producer_phi: Rational,
+    /// `φ` of the consuming task.
+    pub consumer_phi: Rational,
+}
+
+/// The result of propagating the throughput constraint over a chain:
+/// `φ(v)` for every task and the bound rate for every buffer.
+#[derive(Clone, Debug)]
+pub struct RateAssignment {
+    constraint: ThroughputConstraint,
+    /// `phi[t]` for the task with index `t`.
+    phi: Vec<Rational>,
+    pairs: Vec<PairTiming>,
+}
+
+impl RateAssignment {
+    /// Derives rates for a validated chain under a throughput constraint.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalysisError::ZeroQuantumNotSupported`] — a production set
+    ///   contains 0 in sink-constrained mode (the producer could then stop
+    ///   delivering data for good, so no finite rate assignment exists),
+    ///   or a consumption set contains 0 in source-constrained mode.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vrdf_core::{
+    ///     QuantumSet, RateAssignment, Rational, TaskGraph, ThroughputConstraint,
+    /// };
+    ///
+    /// let tg = TaskGraph::linear_chain(
+    ///     [("wa", Rational::new(1, 100)), ("wb", Rational::new(1, 100))],
+    ///     [("b", QuantumSet::constant(3), QuantumSet::new([2, 3])?)],
+    /// )?;
+    /// let chain = tg.chain()?;
+    /// let tau = Rational::new(3, 100);
+    /// let rates = RateAssignment::derive(
+    ///     &tg,
+    ///     &chain,
+    ///     ThroughputConstraint::on_sink(tau)?,
+    /// )?;
+    /// // The producer must sustain 3 tokens per tau: phi(wa) = tau.
+    /// assert_eq!(rates.phi(chain.source()), tau);
+    /// # Ok::<(), vrdf_core::AnalysisError>(())
+    /// ```
+    pub fn derive(
+        tg: &TaskGraph,
+        chain: &ChainView,
+        constraint: ThroughputConstraint,
+    ) -> Result<RateAssignment, AnalysisError> {
+        let n = chain.tasks().len();
+        let mut phi = vec![Rational::ZERO; n];
+        let mut pairs = Vec::with_capacity(chain.buffers().len());
+        match constraint.location {
+            ConstraintLocation::Sink => {
+                phi[n - 1] = constraint.period;
+                // Walk sink -> source.
+                for i in (0..chain.buffers().len()).rev() {
+                    let buffer_id = chain.buffers()[i];
+                    let buffer = tg.buffer(buffer_id);
+                    if buffer.production().contains_zero() {
+                        return Err(AnalysisError::ZeroQuantumNotSupported {
+                            buffer: buffer.name().to_owned(),
+                            role: "production",
+                        });
+                    }
+                    let consumer_phi = phi[i + 1];
+                    let c_max = Rational::from(buffer.consumption().max());
+                    let token_period = consumer_phi / c_max;
+                    let producer_phi = token_period * Rational::from(buffer.production().min());
+                    phi[i] = producer_phi;
+                    pairs.push(PairTiming {
+                        buffer: buffer_id,
+                        token_period,
+                        producer_phi,
+                        consumer_phi,
+                    });
+                }
+                pairs.reverse();
+            }
+            ConstraintLocation::Source => {
+                phi[0] = constraint.period;
+                // Walk source -> sink.
+                for i in 0..chain.buffers().len() {
+                    let buffer_id = chain.buffers()[i];
+                    let buffer = tg.buffer(buffer_id);
+                    if buffer.consumption().contains_zero() {
+                        return Err(AnalysisError::ZeroQuantumNotSupported {
+                            buffer: buffer.name().to_owned(),
+                            role: "consumption",
+                        });
+                    }
+                    let producer_phi = phi[i];
+                    let p_max = Rational::from(buffer.production().max());
+                    let token_period = producer_phi / p_max;
+                    let consumer_phi = token_period * Rational::from(buffer.consumption().min());
+                    phi[i + 1] = consumer_phi;
+                    pairs.push(PairTiming {
+                        buffer: buffer_id,
+                        token_period,
+                        producer_phi,
+                        consumer_phi,
+                    });
+                }
+            }
+        }
+        Ok(RateAssignment {
+            constraint,
+            phi,
+            pairs,
+        })
+    }
+
+    /// The constraint the assignment was derived from.
+    #[inline]
+    pub fn constraint(&self) -> ThroughputConstraint {
+        self.constraint
+    }
+
+    /// Minimal required difference between consecutive starts of a task,
+    /// `φ(v)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task` is not part of the chain the assignment was
+    /// derived for.
+    #[inline]
+    pub fn phi(&self, task: TaskId) -> Rational {
+        self.phi[task.index()]
+    }
+
+    /// Per-buffer bound timing, in source-to-sink buffer order.
+    #[inline]
+    pub fn pairs(&self) -> &[PairTiming] {
+        &self.pairs
+    }
+
+    /// The maximum admissible worst-case response time for each task: its
+    /// `φ(v)`.  Exceeding it makes the existence schedule invalid
+    /// (Section 4.2's producer/consumer schedule conditions).
+    pub fn response_time_bound(&self, task: TaskId) -> Rational {
+        self.phi(task)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantum::QuantumSet;
+    use crate::rational::rat;
+
+    fn q(values: &[u64]) -> QuantumSet {
+        QuantumSet::new(values.iter().copied()).unwrap()
+    }
+
+    /// The MP3 playback chain of Fig. 5 with the paper's response times.
+    fn mp3_chain() -> TaskGraph {
+        // Times in seconds.
+        TaskGraph::linear_chain(
+            [
+                ("vBR", rat(512, 10000)),  // 51.2 ms
+                ("vMP3", rat(24, 1000)),   // 24 ms
+                ("vSRC", rat(10, 1000)),   // 10 ms
+                ("vDAC", rat(1, 44100)),   // one sample period
+            ],
+            [
+                (
+                    "d1",
+                    QuantumSet::constant(2048),
+                    QuantumSet::range_inclusive(0, 960).unwrap(),
+                ),
+                ("d2", QuantumSet::constant(1152), QuantumSet::constant(480)),
+                ("d3", QuantumSet::constant(441), QuantumSet::constant(1)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn constraint_validation() {
+        assert!(ThroughputConstraint::on_sink(rat(1, 44100)).is_ok());
+        assert!(matches!(
+            ThroughputConstraint::on_sink(Rational::ZERO),
+            Err(AnalysisError::NonPositivePeriod(_))
+        ));
+        assert!(matches!(
+            ThroughputConstraint::on_source(rat(-1, 2)),
+            Err(AnalysisError::NonPositivePeriod(_))
+        ));
+        let c = ThroughputConstraint::on_source(rat(1, 2)).unwrap();
+        assert_eq!(c.location(), ConstraintLocation::Source);
+        assert_eq!(c.period(), rat(1, 2));
+    }
+
+    #[test]
+    fn mp3_phi_values_match_paper() {
+        // Section 5: response times "that would just allow the throughput
+        // constraint to be satisfied" are exactly the phi values.
+        let tg = mp3_chain();
+        let chain = tg.chain().unwrap();
+        let rates = RateAssignment::derive(
+            &tg,
+            &chain,
+            ThroughputConstraint::on_sink(rat(1, 44100)).unwrap(),
+        )
+        .unwrap();
+        let phi_ms = |name: &str| rates.phi(tg.task_by_name(name).unwrap()) * rat(1000, 1);
+        assert_eq!(phi_ms("vDAC"), rat(1000, 44100) * rat(1, 1)); // ~0.0227 ms
+        assert_eq!(phi_ms("vSRC"), rat(10, 1)); // 10 ms
+        assert_eq!(phi_ms("vMP3"), rat(24, 1)); // 24 ms
+        assert_eq!(phi_ms("vBR"), rat(256, 5)); // 51.2 ms
+    }
+
+    #[test]
+    fn mp3_token_periods() {
+        let tg = mp3_chain();
+        let chain = tg.chain().unwrap();
+        let rates = RateAssignment::derive(
+            &tg,
+            &chain,
+            ThroughputConstraint::on_sink(rat(1, 44100)).unwrap(),
+        )
+        .unwrap();
+        let pairs = rates.pairs();
+        assert_eq!(pairs.len(), 3);
+        // d3: one token per DAC period.
+        assert_eq!(pairs[2].token_period, rat(1, 44100));
+        // d2: 480 tokens per 10 ms.
+        assert_eq!(pairs[1].token_period, rat(10, 1000) / rat(480, 1));
+        // d1: 960 tokens per 24 ms.
+        assert_eq!(pairs[0].token_period, rat(24, 1000) / rat(960, 1));
+        // Pair ordering matches the chain's buffer ordering.
+        assert_eq!(pairs[0].buffer, chain.buffers()[0]);
+        // consumer phi of pair i equals producer phi of pair i+1.
+        assert_eq!(pairs[0].consumer_phi, pairs[1].producer_phi);
+        assert_eq!(pairs[1].consumer_phi, pairs[2].producer_phi);
+    }
+
+    #[test]
+    fn zero_production_rejected_in_sink_mode() {
+        let tg = TaskGraph::linear_chain(
+            [("a", rat(1, 10)), ("b", rat(1, 10))],
+            [("buf", q(&[0, 3]), q(&[2]))],
+        )
+        .unwrap();
+        let chain = tg.chain().unwrap();
+        let err = RateAssignment::derive(
+            &tg,
+            &chain,
+            ThroughputConstraint::on_sink(rat(1, 10)).unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            AnalysisError::ZeroQuantumNotSupported { role: "production", .. }
+        ));
+    }
+
+    #[test]
+    fn zero_consumption_allowed_in_sink_mode() {
+        let tg = TaskGraph::linear_chain(
+            [("a", rat(1, 10)), ("b", rat(1, 10))],
+            [("buf", q(&[3]), q(&[0, 2]))],
+        )
+        .unwrap();
+        let chain = tg.chain().unwrap();
+        assert!(RateAssignment::derive(
+            &tg,
+            &chain,
+            ThroughputConstraint::on_sink(rat(1, 10)).unwrap(),
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn source_mode_mirrors_sink_mode() {
+        // Source-constrained: production maximised, consumption minimised.
+        let tg = TaskGraph::linear_chain(
+            [("src", rat(1, 10)), ("snk", rat(1, 10))],
+            [("buf", q(&[2, 4]), q(&[3]))],
+        )
+        .unwrap();
+        let chain = tg.chain().unwrap();
+        let tau = rat(1, 5);
+        let rates = RateAssignment::derive(
+            &tg,
+            &chain,
+            ThroughputConstraint::on_source(tau).unwrap(),
+        )
+        .unwrap();
+        // token period = tau / pi_hat = (1/5)/4.
+        assert_eq!(rates.pairs()[0].token_period, rat(1, 20));
+        // phi(snk) = token_period * gamma_min = 3/20.
+        assert_eq!(rates.phi(chain.sink()), rat(3, 20));
+        assert_eq!(rates.phi(chain.source()), tau);
+        assert_eq!(rates.response_time_bound(chain.sink()), rat(3, 20));
+    }
+
+    #[test]
+    fn zero_consumption_rejected_in_source_mode() {
+        let tg = TaskGraph::linear_chain(
+            [("src", rat(1, 10)), ("snk", rat(1, 10))],
+            [("buf", q(&[3]), q(&[0, 2]))],
+        )
+        .unwrap();
+        let chain = tg.chain().unwrap();
+        let err = RateAssignment::derive(
+            &tg,
+            &chain,
+            ThroughputConstraint::on_source(rat(1, 10)).unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            AnalysisError::ZeroQuantumNotSupported { role: "consumption", .. }
+        ));
+    }
+
+    #[test]
+    fn zero_production_allowed_in_source_mode() {
+        let tg = TaskGraph::linear_chain(
+            [("src", rat(1, 10)), ("snk", rat(1, 10))],
+            [("buf", q(&[0, 3]), q(&[2]))],
+        )
+        .unwrap();
+        let chain = tg.chain().unwrap();
+        assert!(RateAssignment::derive(
+            &tg,
+            &chain,
+            ThroughputConstraint::on_source(rat(1, 10)).unwrap(),
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn single_task_chain_has_no_pairs() {
+        let mut tg = TaskGraph::new();
+        tg.add_task("only", rat(1, 10)).unwrap();
+        let chain = tg.chain().unwrap();
+        let rates = RateAssignment::derive(
+            &tg,
+            &chain,
+            ThroughputConstraint::on_sink(rat(1, 2)).unwrap(),
+        )
+        .unwrap();
+        assert!(rates.pairs().is_empty());
+        assert_eq!(rates.phi(chain.sink()), rat(1, 2));
+    }
+}

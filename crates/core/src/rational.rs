@@ -1,0 +1,647 @@
+//! Exact rational arithmetic on `i128`.
+//!
+//! Every quantity in the buffer-capacity equations (Eqs. (1)–(4) of the
+//! paper) is rational: periods like 1/44100 s, response times like
+//! 51.2 ms, and the bound offsets derived from them.  The published MP3
+//! results evaluate to *exact integers*, so the final `floor` in Eq. (4)
+//! sits precisely on an integer boundary — floating point would round
+//! unpredictably.  [`Rational`] keeps every intermediate value exact.
+//!
+//! The type is always stored in canonical form: the denominator is
+//! strictly positive and `gcd(|num|, den) == 1`.  Arithmetic panics on
+//! `i128` overflow (the operands reduce by their gcd first, so overflow
+//! requires astronomically fine-grained time bases); checked variants are
+//! provided for callers that prefer `Option`.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// Greatest common divisor of two non-negative integers.
+#[inline]
+pub(crate) fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+/// Greatest common divisor on `i128` magnitudes, returning a non-negative value.
+#[inline]
+fn gcd_i128(a: i128, b: i128) -> i128 {
+    gcd_u128(a.unsigned_abs(), b.unsigned_abs()) as i128
+}
+
+/// An exact rational number `num / den` with `den > 0`, stored in lowest terms.
+///
+/// # Examples
+///
+/// ```
+/// use vrdf_core::Rational;
+///
+/// let tau = Rational::new(1, 44100); // DAC period in seconds
+/// let ten_ms = Rational::new(1, 100);
+/// assert_eq!((ten_ms / tau).to_string(), "441");
+/// assert_eq!(Rational::new(2, 4), Rational::new(1, 2));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Rational {
+    num: i128,
+    den: i128,
+}
+
+impl Rational {
+    /// The rational number zero.
+    pub const ZERO: Rational = Rational { num: 0, den: 1 };
+    /// The rational number one.
+    pub const ONE: Rational = Rational { num: 1, den: 1 };
+
+    /// Creates a rational from a numerator and denominator, reducing to
+    /// lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vrdf_core::Rational;
+    /// assert_eq!(Rational::new(-6, -4), Rational::new(3, 2));
+    /// ```
+    #[inline]
+    pub fn new(num: i128, den: i128) -> Rational {
+        assert!(den != 0, "rational denominator must be non-zero");
+        Self::reduced(num, den)
+    }
+
+    /// Creates a rational, returning `None` when `den == 0`.
+    #[inline]
+    pub fn checked_new(num: i128, den: i128) -> Option<Rational> {
+        if den == 0 {
+            None
+        } else {
+            Some(Self::reduced(num, den))
+        }
+    }
+
+    #[inline]
+    fn reduced(num: i128, den: i128) -> Rational {
+        debug_assert!(den != 0);
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd_i128(num, den).max(1);
+        Rational {
+            num: sign * (num / g),
+            den: (den / g).abs(),
+        }
+    }
+
+    /// Creates a rational from an integer.
+    ///
+    /// `From<i128>`/`From<i64>`/`From<u64>` are also provided.
+    #[inline]
+    pub fn integer(value: i128) -> Rational {
+        Rational { num: value, den: 1 }
+    }
+
+    /// Numerator in canonical (lowest-terms, positive-denominator) form.
+    #[inline]
+    pub fn numer(&self) -> i128 {
+        self.num
+    }
+
+    /// Denominator in canonical form; always strictly positive.
+    #[inline]
+    pub fn denom(&self) -> i128 {
+        self.den
+    }
+
+    /// Returns `true` if the value is zero.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.num == 0
+    }
+
+    /// Returns `true` if the value is an integer (denominator 1).
+    #[inline]
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Returns `true` if the value is strictly positive.
+    #[inline]
+    pub fn is_positive(&self) -> bool {
+        self.num > 0
+    }
+
+    /// Returns `true` if the value is strictly negative.
+    #[inline]
+    pub fn is_negative(&self) -> bool {
+        self.num < 0
+    }
+
+    /// Largest integer less than or equal to `self` (rounds towards −∞).
+    ///
+    /// This is the rounding mode the paper prescribes for Eq. (4): "a
+    /// number of initial tokens that equals the largest integer smaller
+    /// than or equal to Equation (4)".
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vrdf_core::Rational;
+    /// assert_eq!(Rational::new(7, 2).floor(), 3);
+    /// assert_eq!(Rational::new(-7, 2).floor(), -4);
+    /// assert_eq!(Rational::new(6, 2).floor(), 3);
+    /// ```
+    #[inline]
+    pub fn floor(&self) -> i128 {
+        self.num.div_euclid(self.den)
+    }
+
+    /// Smallest integer greater than or equal to `self` (rounds towards +∞).
+    #[inline]
+    pub fn ceil(&self) -> i128 {
+        -(-*self).floor()
+    }
+
+    /// Absolute value.
+    #[inline]
+    pub fn abs(&self) -> Rational {
+        Rational {
+            num: self.num.abs(),
+            den: self.den,
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is zero.
+    #[inline]
+    pub fn recip(&self) -> Rational {
+        assert!(self.num != 0, "cannot invert zero");
+        Self::reduced(self.den, self.num)
+    }
+
+    /// Checked addition; `None` on `i128` overflow.
+    pub fn checked_add(&self, rhs: Rational) -> Option<Rational> {
+        // Reduce by the gcd of the denominators first to keep the cross
+        // products as small as possible.
+        let g = gcd_i128(self.den, rhs.den).max(1);
+        let lhs_scale = rhs.den / g;
+        let rhs_scale = self.den / g;
+        let num = self
+            .num
+            .checked_mul(lhs_scale)?
+            .checked_add(rhs.num.checked_mul(rhs_scale)?)?;
+        let den = self.den.checked_mul(lhs_scale)?;
+        Some(Self::reduced(num, den))
+    }
+
+    /// Checked subtraction; `None` on `i128` overflow.
+    #[inline]
+    pub fn checked_sub(&self, rhs: Rational) -> Option<Rational> {
+        self.checked_add(-rhs)
+    }
+
+    /// Checked multiplication; `None` on `i128` overflow.
+    pub fn checked_mul(&self, rhs: Rational) -> Option<Rational> {
+        // Cross-reduce before multiplying.
+        let g1 = gcd_i128(self.num, rhs.den).max(1);
+        let g2 = gcd_i128(rhs.num, self.den).max(1);
+        let num = (self.num / g1).checked_mul(rhs.num / g2)?;
+        let den = (self.den / g2).checked_mul(rhs.den / g1)?;
+        Some(Self::reduced(num, den))
+    }
+
+    /// Checked division; `None` on division by zero or overflow.
+    pub fn checked_div(&self, rhs: Rational) -> Option<Rational> {
+        if rhs.num == 0 {
+            return None;
+        }
+        self.checked_mul(Self::reduced(rhs.den, rhs.num))
+    }
+
+    /// Returns the minimum of two rationals.
+    #[inline]
+    pub fn min(self, other: Rational) -> Rational {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the maximum of two rationals.
+    #[inline]
+    pub fn max(self, other: Rational) -> Rational {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Lossy conversion to `f64`, for display and plotting only.
+    ///
+    /// Analysis code must never branch on this value; use the exact
+    /// comparison operators instead.
+    #[inline]
+    pub fn to_f64(&self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Parses strings of the form `"p"`, `"p/q"`, or decimal `"p.q"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseRationalError`] when the input is not a valid
+    /// integer, fraction, or terminating decimal, or when the denominator
+    /// is zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vrdf_core::Rational;
+    /// assert_eq!("51.2".parse::<Rational>()?, Rational::new(256, 5));
+    /// assert_eq!("1/44100".parse::<Rational>()?, Rational::new(1, 44100));
+    /// # Ok::<(), vrdf_core::ParseRationalError>(())
+    /// ```
+    fn parse(s: &str) -> Result<Rational, ParseRationalError> {
+        let s = s.trim();
+        if let Some((p, q)) = s.split_once('/') {
+            let num: i128 = p.trim().parse().map_err(|_| ParseRationalError)?;
+            let den: i128 = q.trim().parse().map_err(|_| ParseRationalError)?;
+            return Rational::checked_new(num, den).ok_or(ParseRationalError);
+        }
+        if let Some((int_part, frac_part)) = s.split_once('.') {
+            if frac_part.is_empty() || !frac_part.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(ParseRationalError);
+            }
+            let negative = int_part.trim_start().starts_with('-');
+            let int: i128 = if int_part.is_empty() || int_part == "-" {
+                0
+            } else {
+                int_part.parse().map_err(|_| ParseRationalError)?
+            };
+            let frac: i128 = frac_part.parse().map_err(|_| ParseRationalError)?;
+            let scale = 10i128
+                .checked_pow(frac_part.len() as u32)
+                .ok_or(ParseRationalError)?;
+            let magnitude = int
+                .checked_abs()
+                .and_then(|i| i.checked_mul(scale))
+                .and_then(|i| i.checked_add(frac))
+                .ok_or(ParseRationalError)?;
+            let num = if negative { -magnitude } else { magnitude };
+            return Ok(Rational::new(num, scale));
+        }
+        let num: i128 = s.parse().map_err(|_| ParseRationalError)?;
+        Ok(Rational::integer(num))
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::ZERO
+    }
+}
+
+impl PartialEq for Rational {
+    #[inline]
+    fn eq(&self, other: &Self) -> bool {
+        // Canonical form makes field-wise equality exact.
+        self.num == other.num && self.den == other.den
+    }
+}
+
+impl Eq for Rational {}
+
+impl Hash for Rational {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.num.hash(state);
+        self.den.hash(state);
+    }
+}
+
+impl PartialOrd for Rational {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Compare a/b vs c/d via a*d vs c*b with cross-reduction to avoid
+        // overflow; denominators are positive so no sign flip.
+        let g_num = gcd_i128(self.num, other.num).max(1);
+        let g_den = gcd_i128(self.den, other.den).max(1);
+        let lhs = (self.num / g_num).checked_mul(other.den / g_den);
+        let rhs = (other.num / g_num).checked_mul(self.den / g_den);
+        match (lhs, rhs) {
+            (Some(l), Some(r)) => l.cmp(&r),
+            // Extremely large operands: fall back to sign + f64 ordering,
+            // which is adequate because equal canonical forms were already
+            // handled by the reduction above.
+            _ => self
+                .to_f64()
+                .partial_cmp(&other.to_f64())
+                .unwrap_or(Ordering::Equal),
+        }
+    }
+}
+
+macro_rules! forward_binop {
+    ($trait:ident, $method:ident, $checked:ident, $what:literal) => {
+        impl $trait for Rational {
+            type Output = Rational;
+            #[inline]
+            fn $method(self, rhs: Rational) -> Rational {
+                self.$checked(rhs)
+                    .unwrap_or_else(|| panic!(concat!("rational ", $what, " overflowed i128")))
+            }
+        }
+    };
+}
+
+forward_binop!(Add, add, checked_add, "addition");
+forward_binop!(Sub, sub, checked_sub, "subtraction");
+forward_binop!(Mul, mul, checked_mul, "multiplication");
+
+impl Div for Rational {
+    type Output = Rational;
+    #[inline]
+    fn div(self, rhs: Rational) -> Rational {
+        assert!(!rhs.is_zero(), "rational division by zero");
+        self.checked_div(rhs)
+            .expect("rational division overflowed i128")
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    #[inline]
+    fn neg(self) -> Rational {
+        Rational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl AddAssign for Rational {
+    #[inline]
+    fn add_assign(&mut self, rhs: Rational) {
+        *self = *self + rhs;
+    }
+}
+
+impl SubAssign for Rational {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Rational) {
+        *self = *self - rhs;
+    }
+}
+
+impl MulAssign for Rational {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Rational) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Rational {
+    #[inline]
+    fn div_assign(&mut self, rhs: Rational) {
+        *self = *self / rhs;
+    }
+}
+
+impl From<i128> for Rational {
+    #[inline]
+    fn from(value: i128) -> Self {
+        Rational::integer(value)
+    }
+}
+
+impl From<i64> for Rational {
+    #[inline]
+    fn from(value: i64) -> Self {
+        Rational::integer(value as i128)
+    }
+}
+
+impl From<u64> for Rational {
+    #[inline]
+    fn from(value: u64) -> Self {
+        Rational::integer(value as i128)
+    }
+}
+
+impl From<i32> for Rational {
+    #[inline]
+    fn from(value: i32) -> Self {
+        Rational::integer(value as i128)
+    }
+}
+
+impl From<u32> for Rational {
+    #[inline]
+    fn from(value: u32) -> Self {
+        Rational::integer(value as i128)
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Error returned when parsing a [`Rational`] from a string fails.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParseRationalError;
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("invalid rational syntax: expected `p`, `p/q`, or `p.q`")
+    }
+}
+
+impl std::error::Error for ParseRationalError {}
+
+impl FromStr for Rational {
+    type Err = ParseRationalError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Rational::parse(s)
+    }
+}
+
+impl std::iter::Sum for Rational {
+    fn sum<I: Iterator<Item = Rational>>(iter: I) -> Rational {
+        iter.fold(Rational::ZERO, |acc, x| acc + x)
+    }
+}
+
+/// Convenience constructor: `rat(256, 5)` is `Rational::new(256, 5)`.
+///
+/// # Examples
+///
+/// ```
+/// use vrdf_core::{rat, Rational};
+/// assert_eq!(rat(1, 2) + rat(1, 3), rat(5, 6));
+/// ```
+#[inline]
+pub fn rat(num: i128, den: i128) -> Rational {
+    Rational::new(num, den)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_form() {
+        assert_eq!(rat(2, 4), rat(1, 2));
+        assert_eq!(rat(-2, 4), rat(1, -2));
+        assert_eq!(rat(-2, -4), rat(1, 2));
+        assert_eq!(rat(0, 7), Rational::ZERO);
+        assert_eq!(rat(0, -7).denom(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator must be non-zero")]
+    fn zero_denominator_panics() {
+        let _ = Rational::new(1, 0);
+    }
+
+    #[test]
+    fn checked_new_rejects_zero_denominator() {
+        assert_eq!(Rational::checked_new(1, 0), None);
+        assert_eq!(Rational::checked_new(3, 6), Some(rat(1, 2)));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(rat(1, 2) + rat(1, 3), rat(5, 6));
+        assert_eq!(rat(1, 2) - rat(1, 3), rat(1, 6));
+        assert_eq!(rat(2, 3) * rat(9, 4), rat(3, 2));
+        assert_eq!(rat(2, 3) / rat(4, 9), rat(3, 2));
+        assert_eq!(-rat(2, 3), rat(-2, 3));
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut x = rat(1, 2);
+        x += rat(1, 4);
+        assert_eq!(x, rat(3, 4));
+        x -= rat(1, 2);
+        assert_eq!(x, rat(1, 4));
+        x *= rat(8, 1);
+        assert_eq!(x, rat(2, 1));
+        x /= rat(4, 1);
+        assert_eq!(x, rat(1, 2));
+    }
+
+    #[test]
+    fn floor_and_ceil() {
+        assert_eq!(rat(7, 2).floor(), 3);
+        assert_eq!(rat(7, 2).ceil(), 4);
+        assert_eq!(rat(-7, 2).floor(), -4);
+        assert_eq!(rat(-7, 2).ceil(), -3);
+        assert_eq!(rat(8, 2).floor(), 4);
+        assert_eq!(rat(8, 2).ceil(), 4);
+        assert_eq!(Rational::ZERO.floor(), 0);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(rat(1, 3) < rat(1, 2));
+        assert!(rat(-1, 2) < rat(-1, 3));
+        assert!(rat(441, 1) > rat(440, 1));
+        assert_eq!(rat(2, 4).cmp(&rat(1, 2)), Ordering::Equal);
+        assert_eq!(rat(1, 2).min(rat(2, 3)), rat(1, 2));
+        assert_eq!(rat(1, 2).max(rat(2, 3)), rat(2, 3));
+    }
+
+    #[test]
+    fn recip() {
+        assert_eq!(rat(3, 4).recip(), rat(4, 3));
+        assert_eq!(rat(-3, 4).recip(), rat(-4, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot invert zero")]
+    fn recip_zero_panics() {
+        let _ = Rational::ZERO.recip();
+    }
+
+    #[test]
+    fn parsing() {
+        assert_eq!("3".parse::<Rational>().unwrap(), rat(3, 1));
+        assert_eq!("-3".parse::<Rational>().unwrap(), rat(-3, 1));
+        assert_eq!("1/44100".parse::<Rational>().unwrap(), rat(1, 44100));
+        assert_eq!("51.2".parse::<Rational>().unwrap(), rat(256, 5));
+        assert_eq!("0.0227".parse::<Rational>().unwrap(), rat(227, 10000));
+        assert_eq!("-0.5".parse::<Rational>().unwrap(), rat(-1, 2));
+        assert!("".parse::<Rational>().is_err());
+        assert!("1/0".parse::<Rational>().is_err());
+        assert!("1.2.3".parse::<Rational>().is_err());
+        assert!("a/b".parse::<Rational>().is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(rat(3, 1).to_string(), "3");
+        assert_eq!(rat(1, 3).to_string(), "1/3");
+        assert_eq!(rat(-1, 3).to_string(), "-1/3");
+    }
+
+    #[test]
+    fn mp3_period_arithmetic_is_exact() {
+        // The exact values behind Section 5 of the paper.
+        let tau = rat(1, 44100); // s
+        let rho_src = rat(1, 100); // 10 ms
+        assert_eq!(rho_src / tau, rat(441, 1));
+        let rho_br = rat(256, 5) / rat(1000, 1); // 51.2 ms in s
+        assert_eq!(rho_br, rat(32, 625));
+        // phi(MP3) = 24 ms
+        let phi_mp3 = rat(24, 1000);
+        assert_eq!(phi_mp3 * rat(1000, 1), rat(24, 1));
+    }
+
+    #[test]
+    fn sum_iterator() {
+        let total: Rational = [rat(1, 2), rat(1, 3), rat(1, 6)].into_iter().sum();
+        assert_eq!(total, Rational::ONE);
+    }
+
+    #[test]
+    fn to_f64_is_close() {
+        assert!((rat(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn large_value_cross_reduction() {
+        // Values that would overflow a naive a*d vs c*b comparison.
+        let big = rat(i128::MAX / 2, 3);
+        let bigger = rat(i128::MAX / 2, 2);
+        assert!(big < bigger);
+        // Multiplication with cross-reduction stays in range.
+        let x = rat(i128::MAX / 3, 7);
+        let y = rat(7, i128::MAX / 3);
+        assert_eq!(x * y, Rational::ONE);
+    }
+}

@@ -1,0 +1,676 @@
+//! The task model `T = (W, B, ξ, λ, κ, ζ)` of Section 3.1.
+//!
+//! An application is a weakly connected directed graph of tasks `W`
+//! communicating over circular buffers `B`.  Tasks *consume* full
+//! containers from their input buffer and *produce* full containers on
+//! their output buffer; a task only starts when enough full containers are
+//! on its input **and** enough empty containers are on its output, so that
+//! the execution finishes without blocking (back-pressure).
+//!
+//! * `ξ(b)` — the set of production quanta on buffer `b` (containers
+//!   produced per execution, which equals the empty containers required).
+//! * `λ(b)` — the set of consumption quanta.
+//! * `κ(w)` — the worst-case response time of task `w` under its run-time
+//!   arbiter (e.g. TDM or round-robin), independent of start rates.
+//! * `ζ(b)` — the buffer capacity in containers; this is what the analysis
+//!   computes.
+//!
+//! The topology is restricted to **chains**: every task has at most one
+//! input and at most one output buffer, and the throughput constraint sits
+//! on a task without outputs (sink) or without inputs (source).
+
+use std::fmt;
+
+use crate::error::AnalysisError;
+use crate::quantum::QuantumSet;
+use crate::rational::Rational;
+
+/// Opaque handle to a task inside a [`TaskGraph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TaskId(pub(crate) usize);
+
+/// Opaque handle to a buffer inside a [`TaskGraph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufferId(pub(crate) usize);
+
+impl TaskId {
+    /// Position of the task in insertion order.
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl BufferId {
+    /// Position of the buffer in insertion order.
+    #[inline]
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+impl fmt::Display for BufferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// A task `w ∈ W` with its worst-case response time `κ(w)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Task {
+    name: String,
+    response_time: Rational,
+}
+
+impl Task {
+    /// The task's name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Worst-case response time `κ(w)` — the maximum time between
+    /// sufficient containers being present and the execution finishing.
+    #[inline]
+    pub fn response_time(&self) -> Rational {
+        self.response_time
+    }
+}
+
+/// A circular buffer `b_ab ∈ B` from a producing task to a consuming task.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Buffer {
+    name: String,
+    producer: TaskId,
+    consumer: TaskId,
+    production: QuantumSet,
+    consumption: QuantumSet,
+    capacity: Option<u64>,
+}
+
+impl Buffer {
+    /// The buffer's name.
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The producing task `w_a`.
+    #[inline]
+    pub fn producer(&self) -> TaskId {
+        self.producer
+    }
+
+    /// The consuming task `w_b`.
+    #[inline]
+    pub fn consumer(&self) -> TaskId {
+        self.consumer
+    }
+
+    /// Production quanta `ξ(b)`: containers produced per execution of the
+    /// producer (also the number of empty containers it requires to start).
+    #[inline]
+    pub fn production(&self) -> &QuantumSet {
+        &self.production
+    }
+
+    /// Consumption quanta `λ(b)`: containers consumed per execution of the
+    /// consumer.
+    #[inline]
+    pub fn consumption(&self) -> &QuantumSet {
+        &self.consumption
+    }
+
+    /// Capacity `ζ(b)` in containers, if it has been set or computed.
+    #[inline]
+    pub fn capacity(&self) -> Option<u64> {
+        self.capacity
+    }
+}
+
+/// The task graph `T = (W, B, ξ, λ, κ, ζ)`.
+///
+/// # Examples
+///
+/// Build the motivating example of Fig. 1: `wa` produces 3 containers per
+/// execution, `wb` consumes 2 or 3.
+///
+/// ```
+/// use vrdf_core::{QuantumSet, Rational, TaskGraph};
+///
+/// let mut tg = TaskGraph::new();
+/// let wa = tg.add_task("wa", Rational::new(1, 10))?;
+/// let wb = tg.add_task("wb", Rational::new(1, 10))?;
+/// tg.connect("b_ab", wa, wb, QuantumSet::constant(3), QuantumSet::new([2, 3])?)?;
+/// let chain = tg.chain()?;
+/// assert_eq!(chain.len(), 2);
+/// # Ok::<(), vrdf_core::AnalysisError>(())
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct TaskGraph {
+    tasks: Vec<Task>,
+    buffers: Vec<Buffer>,
+    /// `outputs[t]` / `inputs[t]`: buffers adjacent to task `t`.
+    outputs: Vec<Vec<BufferId>>,
+    inputs: Vec<Vec<BufferId>>,
+}
+
+impl TaskGraph {
+    /// Creates an empty task graph.
+    pub fn new() -> TaskGraph {
+        TaskGraph::default()
+    }
+
+    /// Adds a task with worst-case response time `response_time` (`κ`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::DuplicateName`] when the name is taken and
+    /// [`AnalysisError::NegativeResponseTime`] when `response_time < 0`.
+    pub fn add_task(
+        &mut self,
+        name: impl Into<String>,
+        response_time: Rational,
+    ) -> Result<TaskId, AnalysisError> {
+        let name = name.into();
+        if self.tasks.iter().any(|t| t.name == name) {
+            return Err(AnalysisError::DuplicateName(name));
+        }
+        if response_time.is_negative() {
+            return Err(AnalysisError::NegativeResponseTime {
+                name,
+                value: response_time,
+            });
+        }
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(Task {
+            name,
+            response_time,
+        });
+        self.outputs.push(Vec::new());
+        self.inputs.push(Vec::new());
+        Ok(id)
+    }
+
+    /// Connects `producer` to `consumer` with a new buffer.
+    ///
+    /// `production` is `ξ(b)` and `consumption` is `λ(b)`.  The buffer is
+    /// initially empty, as the paper requires, and its capacity `ζ(b)` is
+    /// unset until computed or assigned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::DuplicateName`] for a reused buffer name
+    /// and [`AnalysisError::UnknownName`] for task handles that do not
+    /// belong to this graph.
+    pub fn connect(
+        &mut self,
+        name: impl Into<String>,
+        producer: TaskId,
+        consumer: TaskId,
+        production: QuantumSet,
+        consumption: QuantumSet,
+    ) -> Result<BufferId, AnalysisError> {
+        let name = name.into();
+        if self.buffers.iter().any(|b| b.name == name) {
+            return Err(AnalysisError::DuplicateName(name));
+        }
+        for id in [producer, consumer] {
+            if id.0 >= self.tasks.len() {
+                return Err(AnalysisError::UnknownName(format!("{id}")));
+            }
+        }
+        let id = BufferId(self.buffers.len());
+        self.buffers.push(Buffer {
+            name,
+            producer,
+            consumer,
+            production,
+            consumption,
+            capacity: None,
+        });
+        self.outputs[producer.0].push(id);
+        self.inputs[consumer.0].push(id);
+        Ok(id)
+    }
+
+    /// Sets buffer capacity `ζ(b)` in containers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffer` does not belong to this graph.
+    pub fn set_capacity(&mut self, buffer: BufferId, capacity: u64) {
+        self.buffers[buffer.0].capacity = Some(capacity);
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of buffers.
+    #[inline]
+    pub fn buffer_count(&self) -> usize {
+        self.buffers.len()
+    }
+
+    /// The task behind a handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    #[inline]
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0]
+    }
+
+    /// The buffer behind a handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    #[inline]
+    pub fn buffer(&self, id: BufferId) -> &Buffer {
+        &self.buffers[id.0]
+    }
+
+    /// Looks a task up by name.
+    pub fn task_by_name(&self, name: &str) -> Option<TaskId> {
+        self.tasks.iter().position(|t| t.name == name).map(TaskId)
+    }
+
+    /// Looks a buffer up by name.
+    pub fn buffer_by_name(&self, name: &str) -> Option<BufferId> {
+        self.buffers
+            .iter()
+            .position(|b| b.name == name)
+            .map(BufferId)
+    }
+
+    /// Iterates over all tasks with their handles.
+    pub fn tasks(&self) -> impl Iterator<Item = (TaskId, &Task)> {
+        self.tasks.iter().enumerate().map(|(i, t)| (TaskId(i), t))
+    }
+
+    /// Iterates over all buffers with their handles.
+    pub fn buffers(&self) -> impl Iterator<Item = (BufferId, &Buffer)> {
+        self.buffers
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BufferId(i), b))
+    }
+
+    /// Output buffers of a task (at most one in a valid chain).
+    pub fn output_buffers(&self, task: TaskId) -> &[BufferId] {
+        &self.outputs[task.0]
+    }
+
+    /// Input buffers of a task (at most one in a valid chain).
+    pub fn input_buffers(&self, task: TaskId) -> &[BufferId] {
+        &self.inputs[task.0]
+    }
+
+    /// Validates the chain topology of Section 3.1 and returns the tasks
+    /// and buffers in source-to-sink order.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalysisError::EmptyGraph`] — no tasks.
+    /// * [`AnalysisError::NotAChain`] — a task with two or more inputs or
+    ///   outputs, or a cycle.
+    /// * [`AnalysisError::Disconnected`] — more than one weakly connected
+    ///   component.
+    pub fn chain(&self) -> Result<ChainView, AnalysisError> {
+        if self.tasks.is_empty() {
+            return Err(AnalysisError::EmptyGraph);
+        }
+        for (id, task) in self.tasks() {
+            if self.outputs[id.0].len() > 1 {
+                return Err(AnalysisError::NotAChain {
+                    task: task.name.clone(),
+                    detail: format!("{} output buffers", self.outputs[id.0].len()),
+                });
+            }
+            if self.inputs[id.0].len() > 1 {
+                return Err(AnalysisError::NotAChain {
+                    task: task.name.clone(),
+                    detail: format!("{} input buffers", self.inputs[id.0].len()),
+                });
+            }
+        }
+        // Exactly one source in a chain (a cycle of in/out degree one has
+        // none).
+        let sources: Vec<TaskId> = self
+            .tasks()
+            .map(|(id, _)| id)
+            .filter(|id| self.inputs[id.0].is_empty())
+            .collect();
+        let first = match sources.as_slice() {
+            [] => {
+                return Err(AnalysisError::NotAChain {
+                    task: self.tasks[0].name.clone(),
+                    detail: "the graph contains a cycle".into(),
+                })
+            }
+            [one] => *one,
+            _ => return Err(AnalysisError::Disconnected),
+        };
+        // Walk the chain from the source.
+        let mut order = vec![first];
+        let mut buffers = Vec::new();
+        let mut current = first;
+        while let Some(&out) = self.outputs[current.0].first() {
+            buffers.push(out);
+            current = self.buffers[out.0].consumer;
+            order.push(current);
+        }
+        if order.len() != self.tasks.len() {
+            // The walk did not reach every task: disconnected components.
+            return Err(AnalysisError::Disconnected);
+        }
+        Ok(ChainView {
+            tasks: order,
+            buffers,
+        })
+    }
+
+    /// Convenience builder for a linear chain: `tasks[i]` is connected to
+    /// `tasks[i+1]` by `buffers[i]`.
+    ///
+    /// `tasks` are `(name, response_time)` pairs; `buffers` are
+    /// `(name, production ξ, consumption λ)` triples and must number one
+    /// fewer than the tasks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the errors of [`TaskGraph::add_task`] and
+    /// [`TaskGraph::connect`]; returns [`AnalysisError::NotAChain`] when
+    /// the buffer count does not match.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vrdf_core::{QuantumSet, Rational, TaskGraph};
+    ///
+    /// let tg = TaskGraph::linear_chain(
+    ///     [("src", Rational::new(1, 10)), ("snk", Rational::new(1, 20))],
+    ///     [("b0", QuantumSet::constant(3), QuantumSet::new([2, 3])?)],
+    /// )?;
+    /// assert_eq!(tg.task_count(), 2);
+    /// # Ok::<(), vrdf_core::AnalysisError>(())
+    /// ```
+    pub fn linear_chain<'a, T, B>(tasks: T, buffers: B) -> Result<TaskGraph, AnalysisError>
+    where
+        T: IntoIterator<Item = (&'a str, Rational)>,
+        B: IntoIterator<Item = (&'a str, QuantumSet, QuantumSet)>,
+    {
+        let mut tg = TaskGraph::new();
+        let ids: Vec<TaskId> = tasks
+            .into_iter()
+            .map(|(name, rho)| tg.add_task(name, rho))
+            .collect::<Result<_, _>>()?;
+        let mut count = 0usize;
+        for (i, (name, production, consumption)) in buffers.into_iter().enumerate() {
+            if i + 1 >= ids.len() {
+                return Err(AnalysisError::NotAChain {
+                    task: "<chain builder>".into(),
+                    detail: "more buffers than task gaps".into(),
+                });
+            }
+            tg.connect(name, ids[i], ids[i + 1], production, consumption)?;
+            count += 1;
+        }
+        if count + 1 != ids.len() {
+            return Err(AnalysisError::NotAChain {
+                task: "<chain builder>".into(),
+                detail: format!("{} tasks need {} buffers, got {count}", ids.len(), ids.len() - 1),
+            });
+        }
+        Ok(tg)
+    }
+}
+
+/// A validated chain: tasks ordered from source to sink, with
+/// `buffers[i]` connecting `tasks[i]` to `tasks[i+1]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainView {
+    tasks: Vec<TaskId>,
+    buffers: Vec<BufferId>,
+}
+
+impl ChainView {
+    /// Tasks in source-to-sink order.
+    #[inline]
+    pub fn tasks(&self) -> &[TaskId] {
+        &self.tasks
+    }
+
+    /// Buffers in source-to-sink order; `buffers()[i]` connects
+    /// `tasks()[i]` to `tasks()[i+1]`.
+    #[inline]
+    pub fn buffers(&self) -> &[BufferId] {
+        &self.buffers
+    }
+
+    /// Number of tasks in the chain.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether the chain is empty (never true for a validated chain).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// The source task (no input buffers).
+    #[inline]
+    pub fn source(&self) -> TaskId {
+        self.tasks[0]
+    }
+
+    /// The sink task (no output buffers).
+    #[inline]
+    pub fn sink(&self) -> TaskId {
+        *self.tasks.last().expect("chains are non-empty")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rational::rat;
+
+    fn q(values: &[u64]) -> QuantumSet {
+        QuantumSet::new(values.iter().copied()).unwrap()
+    }
+
+    fn two_task_graph() -> TaskGraph {
+        let mut tg = TaskGraph::new();
+        let a = tg.add_task("wa", rat(1, 10)).unwrap();
+        let b = tg.add_task("wb", rat(1, 10)).unwrap();
+        tg.connect("b_ab", a, b, q(&[3]), q(&[2, 3])).unwrap();
+        tg
+    }
+
+    #[test]
+    fn build_and_query() {
+        let tg = two_task_graph();
+        assert_eq!(tg.task_count(), 2);
+        assert_eq!(tg.buffer_count(), 1);
+        let a = tg.task_by_name("wa").unwrap();
+        let b = tg.task_by_name("wb").unwrap();
+        let buf = tg.buffer_by_name("b_ab").unwrap();
+        assert_eq!(tg.buffer(buf).producer(), a);
+        assert_eq!(tg.buffer(buf).consumer(), b);
+        assert_eq!(tg.buffer(buf).production().max(), 3);
+        assert_eq!(tg.buffer(buf).consumption().min(), 2);
+        assert_eq!(tg.buffer(buf).capacity(), None);
+        assert_eq!(tg.task(a).name(), "wa");
+        assert_eq!(tg.task(a).response_time(), rat(1, 10));
+        assert_eq!(tg.output_buffers(a), &[buf]);
+        assert_eq!(tg.input_buffers(b), &[buf]);
+        assert!(tg.task_by_name("nope").is_none());
+        assert!(tg.buffer_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn set_capacity() {
+        let mut tg = two_task_graph();
+        let buf = tg.buffer_by_name("b_ab").unwrap();
+        tg.set_capacity(buf, 4);
+        assert_eq!(tg.buffer(buf).capacity(), Some(4));
+    }
+
+    #[test]
+    fn duplicate_task_name_rejected() {
+        let mut tg = TaskGraph::new();
+        tg.add_task("w", rat(1, 1)).unwrap();
+        assert!(matches!(
+            tg.add_task("w", rat(1, 1)),
+            Err(AnalysisError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn duplicate_buffer_name_rejected() {
+        let mut tg = TaskGraph::new();
+        let a = tg.add_task("a", rat(1, 1)).unwrap();
+        let b = tg.add_task("b", rat(1, 1)).unwrap();
+        let c = tg.add_task("c", rat(1, 1)).unwrap();
+        tg.connect("buf", a, b, q(&[1]), q(&[1])).unwrap();
+        assert!(matches!(
+            tg.connect("buf", b, c, q(&[1]), q(&[1])),
+            Err(AnalysisError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn negative_response_time_rejected() {
+        let mut tg = TaskGraph::new();
+        assert!(matches!(
+            tg.add_task("w", rat(-1, 2)),
+            Err(AnalysisError::NegativeResponseTime { .. })
+        ));
+    }
+
+    #[test]
+    fn chain_order() {
+        let tg = TaskGraph::linear_chain(
+            [
+                ("t0", rat(1, 1)),
+                ("t1", rat(1, 1)),
+                ("t2", rat(1, 1)),
+            ],
+            [
+                ("b0", q(&[2]), q(&[3])),
+                ("b1", q(&[1]), q(&[4])),
+            ],
+        )
+        .unwrap();
+        let chain = tg.chain().unwrap();
+        assert_eq!(chain.len(), 3);
+        assert!(!chain.is_empty());
+        assert_eq!(chain.source(), tg.task_by_name("t0").unwrap());
+        assert_eq!(chain.sink(), tg.task_by_name("t2").unwrap());
+        assert_eq!(chain.buffers().len(), 2);
+        assert_eq!(
+            tg.buffer(chain.buffers()[0]).producer(),
+            tg.task_by_name("t0").unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        let tg = TaskGraph::new();
+        assert!(matches!(tg.chain(), Err(AnalysisError::EmptyGraph)));
+    }
+
+    #[test]
+    fn single_task_is_a_chain() {
+        let mut tg = TaskGraph::new();
+        tg.add_task("only", rat(1, 1)).unwrap();
+        let chain = tg.chain().unwrap();
+        assert_eq!(chain.len(), 1);
+        assert_eq!(chain.source(), chain.sink());
+        assert!(chain.buffers().is_empty());
+    }
+
+    #[test]
+    fn fork_rejected() {
+        let mut tg = TaskGraph::new();
+        let a = tg.add_task("a", rat(1, 1)).unwrap();
+        let b = tg.add_task("b", rat(1, 1)).unwrap();
+        let c = tg.add_task("c", rat(1, 1)).unwrap();
+        tg.connect("ab", a, b, q(&[1]), q(&[1])).unwrap();
+        tg.connect("ac", a, c, q(&[1]), q(&[1])).unwrap();
+        assert!(matches!(tg.chain(), Err(AnalysisError::NotAChain { .. })));
+    }
+
+    #[test]
+    fn join_rejected() {
+        let mut tg = TaskGraph::new();
+        let a = tg.add_task("a", rat(1, 1)).unwrap();
+        let b = tg.add_task("b", rat(1, 1)).unwrap();
+        let c = tg.add_task("c", rat(1, 1)).unwrap();
+        tg.connect("ac", a, c, q(&[1]), q(&[1])).unwrap();
+        tg.connect("bc", b, c, q(&[1]), q(&[1])).unwrap();
+        assert!(matches!(tg.chain(), Err(AnalysisError::NotAChain { .. })));
+    }
+
+    #[test]
+    fn cycle_rejected() {
+        let mut tg = TaskGraph::new();
+        let a = tg.add_task("a", rat(1, 1)).unwrap();
+        let b = tg.add_task("b", rat(1, 1)).unwrap();
+        tg.connect("ab", a, b, q(&[1]), q(&[1])).unwrap();
+        tg.connect("ba", b, a, q(&[1]), q(&[1])).unwrap();
+        assert!(matches!(tg.chain(), Err(AnalysisError::NotAChain { .. })));
+    }
+
+    #[test]
+    fn disconnected_rejected() {
+        let mut tg = TaskGraph::new();
+        let a = tg.add_task("a", rat(1, 1)).unwrap();
+        let b = tg.add_task("b", rat(1, 1)).unwrap();
+        tg.add_task("lonely", rat(1, 1)).unwrap();
+        tg.connect("ab", a, b, q(&[1]), q(&[1])).unwrap();
+        assert!(matches!(tg.chain(), Err(AnalysisError::Disconnected)));
+    }
+
+    #[test]
+    fn unknown_task_handle_rejected() {
+        let mut tg = TaskGraph::new();
+        let a = tg.add_task("a", rat(1, 1)).unwrap();
+        let ghost = TaskId(42);
+        assert!(matches!(
+            tg.connect("x", a, ghost, q(&[1]), q(&[1])),
+            Err(AnalysisError::UnknownName(_))
+        ));
+    }
+
+    #[test]
+    fn linear_chain_count_mismatch() {
+        let r = TaskGraph::linear_chain(
+            [("a", rat(1, 1)), ("b", rat(1, 1)), ("c", rat(1, 1))],
+            [("b0", q(&[1]), q(&[1]))],
+        );
+        assert!(matches!(r, Err(AnalysisError::NotAChain { .. })));
+        let r = TaskGraph::linear_chain(
+            [("a", rat(1, 1)), ("b", rat(1, 1))],
+            [
+                ("b0", q(&[1]), q(&[1])),
+                ("b1", q(&[1]), q(&[1])),
+            ],
+        );
+        assert!(matches!(r, Err(AnalysisError::NotAChain { .. })));
+    }
+}
