@@ -1,1 +1,279 @@
-//! Placeholder
+//! # vrdf-apps — ready-made application chains
+//!
+//! Concrete workloads for tests and benchmarks: the paper's MP3 playback
+//! case study (Section 5) and a seeded generator of random feasible
+//! chains for property-style cross-validation.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use vrdf_core::{
+    AnalysisError, QuantumSet, RateAssignment, Rational, TaskGraph, ThroughputConstraint,
+};
+
+/// The buffer capacities published for the MP3 chain in Section 5, in
+/// chain order (`d1`, `d2`, `d3`).
+pub const MP3_PUBLISHED_CAPACITIES: [u64; 3] = [6015, 3263, 882];
+
+/// The MP3 playback chain of Fig. 5: CD block reader → MP3 decoder →
+/// sample-rate converter → DAC, with the paper's worst-case response
+/// times (in seconds).
+///
+/// # Examples
+///
+/// ```
+/// use vrdf_core::compute_buffer_capacities;
+///
+/// let tg = vrdf_apps::mp3_chain();
+/// let analysis = compute_buffer_capacities(&tg, vrdf_apps::mp3_constraint()).unwrap();
+/// let caps: Vec<u64> = analysis.capacities().iter().map(|c| c.capacity).collect();
+/// assert_eq!(caps, vrdf_apps::MP3_PUBLISHED_CAPACITIES);
+/// ```
+pub fn mp3_chain() -> TaskGraph {
+    TaskGraph::linear_chain(
+        [
+            ("vBR", Rational::new(512, 10_000)),
+            ("vMP3", Rational::new(24, 1000)),
+            ("vSRC", Rational::new(10, 1000)),
+            ("vDAC", Rational::new(1, 44_100)),
+        ],
+        [
+            (
+                "d1",
+                QuantumSet::constant(2048),
+                QuantumSet::range_inclusive(0, 960).expect("valid range"),
+            ),
+            ("d2", QuantumSet::constant(1152), QuantumSet::constant(480)),
+            ("d3", QuantumSet::constant(441), QuantumSet::constant(1)),
+        ],
+    )
+    .expect("the MP3 chain is a valid chain")
+}
+
+/// The MP3 chain's throughput constraint: the DAC fires strictly
+/// periodically at 44.1 kHz.
+pub fn mp3_constraint() -> ThroughputConstraint {
+    ThroughputConstraint::on_sink(Rational::new(1, 44_100)).expect("positive period")
+}
+
+/// The motivating producer–consumer pair of Fig. 1: `wa` produces 3
+/// containers per execution, `wb` consumes 2 or 3.
+pub fn fig1_pair() -> TaskGraph {
+    TaskGraph::linear_chain(
+        [("wa", Rational::ONE), ("wb", Rational::ONE)],
+        [(
+            "b_ab",
+            QuantumSet::constant(3),
+            QuantumSet::new([2, 3]).expect("non-empty"),
+        )],
+    )
+    .expect("the pair is a valid chain")
+}
+
+/// Seeded generation of random *feasible* chains.
+pub mod synthetic {
+    use super::*;
+
+    /// A tiny splitmix64-based PRNG — dependency-free and reproducible.
+    #[derive(Clone, Debug)]
+    pub struct Rng(u64);
+
+    impl Rng {
+        /// A generator seeded with `seed`.
+        pub fn new(seed: u64) -> Rng {
+            Rng(seed)
+        }
+
+        /// The next pseudo-random word.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut x = self.0;
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        }
+
+        /// A value in `lo..=hi`.
+        pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+            lo + self.next_u64() % (hi - lo + 1)
+        }
+    }
+
+    /// Knobs for [`random_chain`].
+    #[derive(Clone, Debug)]
+    pub struct ChainSpec {
+        /// Minimum number of tasks (≥ 2).
+        pub min_tasks: usize,
+        /// Maximum number of tasks.
+        pub max_tasks: usize,
+        /// Largest quantum value generated.
+        pub max_quantum: u64,
+        /// Largest number of distinct values per quantum set.
+        pub max_set_len: usize,
+        /// Allow 0 in consumption sets (sink-constrained chains only
+        /// support it there).
+        pub allow_zero_consumption: bool,
+    }
+
+    impl Default for ChainSpec {
+        fn default() -> Self {
+            ChainSpec {
+                min_tasks: 2,
+                max_tasks: 5,
+                max_quantum: 8,
+                max_set_len: 4,
+                allow_zero_consumption: true,
+            }
+        }
+    }
+
+    fn random_set(rng: &mut Rng, spec: &ChainSpec, allow_zero: bool) -> QuantumSet {
+        let len = rng.range(1, spec.max_set_len as u64) as usize;
+        let lo = u64::from(!allow_zero || rng.range(0, 3) != 0);
+        let values: Vec<u64> = (0..len).map(|_| rng.range(lo, spec.max_quantum)).collect();
+        QuantumSet::new(values).unwrap_or_else(|_| QuantumSet::constant(1))
+    }
+
+    /// Generates a random sink-constrained chain that is guaranteed
+    /// *feasible*: response times are drawn as a fraction of each task's
+    /// start-interval bound `φ(v)`, so the analysis never rejects it.
+    ///
+    /// Deterministic in `seed`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from [`TaskGraph`]; with a sane
+    /// [`ChainSpec`] this does not happen.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate [`ChainSpec`] (`min_tasks < 2`,
+    /// `min_tasks > max_tasks`, `max_quantum == 0`, or
+    /// `max_set_len == 0`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vrdf_apps::synthetic::{random_chain, ChainSpec};
+    /// use vrdf_core::compute_buffer_capacities;
+    ///
+    /// let (tg, constraint) = random_chain(7, &ChainSpec::default()).unwrap();
+    /// assert!(compute_buffer_capacities(&tg, constraint).is_ok());
+    /// ```
+    pub fn random_chain(
+        seed: u64,
+        spec: &ChainSpec,
+    ) -> Result<(TaskGraph, ThroughputConstraint), AnalysisError> {
+        assert!(
+            2 <= spec.min_tasks
+                && spec.min_tasks <= spec.max_tasks
+                && spec.max_quantum >= 1
+                && spec.max_set_len >= 1,
+            "degenerate ChainSpec: need 2 <= min_tasks <= max_tasks, \
+             max_quantum >= 1, max_set_len >= 1"
+        );
+        let mut rng = Rng::new(seed);
+        let n = rng.range(spec.min_tasks as u64, spec.max_tasks as u64) as usize;
+
+        // Draw the quanta; production sets must not contain 0 in
+        // sink-constrained mode.
+        let mut buffers = Vec::with_capacity(n - 1);
+        for i in 0..n - 1 {
+            let production = random_set(&mut rng, spec, false);
+            let consumption = random_set(&mut rng, spec, spec.allow_zero_consumption);
+            buffers.push((format!("b{i}"), production, consumption));
+        }
+        let tau = Rational::new(rng.range(1, 12) as i128, rng.range(1, 4) as i128);
+        let constraint = ThroughputConstraint::on_sink(tau)?;
+
+        // Phase 1: a zero-response-time skeleton, to learn each task's
+        // start-interval bound φ(v).
+        let skeleton = build(n, &buffers, |_| Rational::ZERO)?;
+        let chain = skeleton.chain()?;
+        let rates = RateAssignment::derive(&skeleton, &chain, constraint)?;
+        let phis: Vec<Rational> = chain.tasks().iter().map(|&t| rates.phi(t)).collect();
+
+        // Phase 2: the real chain, each response time a random fraction
+        // (0 to 1) of its bound — always feasible.
+        let mut fracs = Vec::with_capacity(n);
+        for _ in 0..n {
+            fracs.push(Rational::new(rng.range(0, 8) as i128, 8));
+        }
+        let tg = build(n, &buffers, |i| phis[i] * fracs[i])?;
+        Ok((tg, constraint))
+    }
+
+    fn build(
+        n: usize,
+        buffers: &[(String, QuantumSet, QuantumSet)],
+        rho: impl Fn(usize) -> Rational,
+    ) -> Result<TaskGraph, AnalysisError> {
+        let mut tg = TaskGraph::new();
+        let mut ids = Vec::with_capacity(n);
+        for i in 0..n {
+            ids.push(tg.add_task(format!("t{i}"), rho(i))?);
+        }
+        for (i, (name, production, consumption)) in buffers.iter().enumerate() {
+            tg.connect(
+                name.clone(),
+                ids[i],
+                ids[i + 1],
+                production.clone(),
+                consumption.clone(),
+            )?;
+        }
+        Ok(tg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrdf_core::compute_buffer_capacities;
+
+    #[test]
+    fn mp3_chain_reproduces_published_capacities() {
+        let tg = mp3_chain();
+        let analysis = compute_buffer_capacities(&tg, mp3_constraint()).unwrap();
+        let caps: Vec<u64> = analysis.capacities().iter().map(|c| c.capacity).collect();
+        assert_eq!(caps, MP3_PUBLISHED_CAPACITIES);
+    }
+
+    #[test]
+    fn fig1_pair_is_analysable() {
+        let tg = fig1_pair();
+        let constraint = ThroughputConstraint::on_sink(Rational::from(3u64)).unwrap();
+        let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
+        // Eq. (4): ρ(wa) + t·(π̂−1) + t·(γ̂−1) over t = 1, plus one — the
+        // sink's own response time is excluded under the default
+        // (Immediate) release convention.
+        assert_eq!(analysis.capacities()[0].capacity, 6);
+    }
+
+    #[test]
+    fn random_chains_are_always_feasible() {
+        let spec = synthetic::ChainSpec::default();
+        for seed in 0..200 {
+            let (tg, constraint) = synthetic::random_chain(seed, &spec).unwrap();
+            let analysis = compute_buffer_capacities(&tg, constraint);
+            assert!(
+                analysis.is_ok(),
+                "seed {seed} produced an infeasible chain: {:?}",
+                analysis.err()
+            );
+        }
+    }
+
+    #[test]
+    fn random_chain_is_deterministic_in_seed() {
+        let spec = synthetic::ChainSpec::default();
+        let (a, _) = synthetic::random_chain(11, &spec).unwrap();
+        let (b, _) = synthetic::random_chain(11, &spec).unwrap();
+        assert_eq!(a.task_count(), b.task_count());
+        for (id, buffer) in a.buffers() {
+            let other = b.buffer(id);
+            assert_eq!(buffer.production(), other.production());
+            assert_eq!(buffer.consumption(), other.consumption());
+        }
+    }
+}

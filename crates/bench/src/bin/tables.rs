@@ -1,1 +1,43 @@
-fn main() {}
+//! Regenerates the paper's Section 5 table on stdout and cross-checks it
+//! in simulation: `cargo run -p vrdf-bench --bin tables`.
+
+use vrdf_apps::{mp3_chain, mp3_constraint, MP3_PUBLISHED_CAPACITIES};
+use vrdf_core::compute_buffer_capacities;
+use vrdf_sim::{validate_capacities, ValidationOptions};
+
+fn main() {
+    let tg = mp3_chain();
+    let analysis =
+        compute_buffer_capacities(&tg, mp3_constraint()).expect("the MP3 chain is feasible");
+
+    println!("MP3 playback chain (WiggersBS08, Section 5)");
+    println!(
+        "{:<6} {:>10} {:>10} {:>14}",
+        "buffer", "computed", "published", "token period"
+    );
+    for (cap, published) in analysis.capacities().iter().zip(MP3_PUBLISHED_CAPACITIES) {
+        println!(
+            "{:<6} {:>10} {:>10} {:>14}",
+            cap.name,
+            cap.capacity,
+            published,
+            cap.token_period.to_string()
+        );
+    }
+    println!(
+        "total  {:>10} {:>10}",
+        analysis.total_capacity(),
+        MP3_PUBLISHED_CAPACITIES.iter().sum::<u64>()
+    );
+
+    let opts = ValidationOptions {
+        endpoint_firings: 10_000,
+        ..ValidationOptions::default()
+    };
+    let report =
+        validate_capacities(&tg, &analysis, &opts).expect("simulation construction succeeds");
+    print!("{report}");
+    if !report.all_clear() {
+        std::process::exit(1);
+    }
+}

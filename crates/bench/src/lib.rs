@@ -1,1 +1,38 @@
-//! Placeholder
+//! # vrdf-bench — benchmarks and figure regeneration
+//!
+//! Hosts the benchmark binaries (`benches/`, custom `harness = false`
+//! runners to stay dependency-free) and the `tables` binary that
+//! regenerates the paper's Section 5 table with a simulation cross-check.
+//!
+//! The eight benches are intentionally still stubs: they will drive the
+//! `vrdf-sim` executor and the `vrdf-sdf` baseline once the measurement
+//! harness lands (see ROADMAP "Open items").  This crate links every
+//! workspace member so the stubs can grow without manifest churn.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// A minimal wall-clock measurement: runs `f` `iterations` times and
+/// returns the mean duration per iteration.  Enough harness for the
+/// dependency-free benches until a real one lands.
+pub fn time_per_iteration<F: FnMut()>(iterations: u32, mut f: F) -> std::time::Duration {
+    assert!(iterations > 0, "at least one iteration");
+    let start = std::time::Instant::now();
+    for _ in 0..iterations {
+        f();
+    }
+    start.elapsed() / iterations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timer_reports_positive_duration() {
+        let d = time_per_iteration(3, || {
+            std::hint::black_box(vrdf_apps::mp3_chain());
+        });
+        assert!(d > std::time::Duration::ZERO);
+    }
+}

@@ -159,16 +159,14 @@ impl PairGaps {
     /// bound `α̂p(e_ab)` and its space-consumption bound `α̌c(e_ba)`:
     /// `ρ(v_a) + t·(π̂(e_ab) − 1)`.
     pub fn producer_gap(&self) -> Rational {
-        self.producer_response
-            + self.token_period * Rational::from(self.producer_max_quantum - 1)
+        self.producer_response + self.token_period * Rational::from(self.producer_max_quantum - 1)
     }
 
     /// Eq. (2): minimum distance between the consumer's space-production
     /// bound `α̂p(e_ba)` and its data-consumption bound `α̌c(e_ab)`:
     /// `ρ(v_b) + t·(γ̂(e_ab) − 1)`.
     pub fn consumer_gap(&self) -> Rational {
-        self.consumer_response
-            + self.token_period * Rational::from(self.consumer_max_quantum - 1)
+        self.consumer_response + self.token_period * Rational::from(self.consumer_max_quantum - 1)
     }
 
     /// Eq. (3): minimum distance between the space-production and

@@ -405,11 +405,9 @@ mod tests {
     #[test]
     fn mp3_capacities_match_section_5() {
         let tg = mp3_task_graph();
-        let analysis = compute_buffer_capacities(
-            &tg,
-            ThroughputConstraint::on_sink(rat(1, 44100)).unwrap(),
-        )
-        .unwrap();
+        let analysis =
+            compute_buffer_capacities(&tg, ThroughputConstraint::on_sink(rat(1, 44100)).unwrap())
+                .unwrap();
         let caps: Vec<u64> = analysis.capacities().iter().map(|c| c.capacity).collect();
         assert_eq!(caps, vec![6015, 3263, 882], "published Section 5 numbers");
         assert_eq!(analysis.total_capacity(), 6015 + 3263 + 882);
@@ -437,11 +435,9 @@ mod tests {
     #[test]
     fn mp3_gaps_are_exact() {
         let tg = mp3_task_graph();
-        let analysis = compute_buffer_capacities(
-            &tg,
-            ThroughputConstraint::on_sink(rat(1, 44100)).unwrap(),
-        )
-        .unwrap();
+        let analysis =
+            compute_buffer_capacities(&tg, ThroughputConstraint::on_sink(rat(1, 44100)).unwrap())
+                .unwrap();
         let d2 = &analysis.capacities()[1];
         // token period: 10 ms / 480.
         assert_eq!(d2.token_period, rat(1, 100) / rat(480, 1));
@@ -455,11 +451,9 @@ mod tests {
     #[test]
     fn capacity_of_lookup() {
         let tg = mp3_task_graph();
-        let analysis = compute_buffer_capacities(
-            &tg,
-            ThroughputConstraint::on_sink(rat(1, 44100)).unwrap(),
-        )
-        .unwrap();
+        let analysis =
+            compute_buffer_capacities(&tg, ThroughputConstraint::on_sink(rat(1, 44100)).unwrap())
+                .unwrap();
         let d3 = tg.buffer_by_name("d3").unwrap();
         assert_eq!(analysis.capacity_of(d3).unwrap().capacity, 882);
         assert_eq!(analysis.capacity_of(BufferId(99)), None);
@@ -468,11 +462,9 @@ mod tests {
     #[test]
     fn apply_writes_capacities_back() {
         let mut tg = mp3_task_graph();
-        let analysis = compute_buffer_capacities(
-            &tg,
-            ThroughputConstraint::on_sink(rat(1, 44100)).unwrap(),
-        )
-        .unwrap();
+        let analysis =
+            compute_buffer_capacities(&tg, ThroughputConstraint::on_sink(rat(1, 44100)).unwrap())
+                .unwrap();
         analysis.apply(&mut tg);
         assert_eq!(
             tg.buffer(tg.buffer_by_name("d1").unwrap()).capacity(),
@@ -484,18 +476,13 @@ mod tests {
     fn infeasible_response_time_is_reported() {
         // vSRC's bound is 10 ms; give it 11 ms.
         let tg = TaskGraph::linear_chain(
-            [
-                ("slow", rat(11, 1000)),
-                ("snk", rat(1, 44100)),
-            ],
+            [("slow", rat(11, 1000)), ("snk", rat(1, 44100))],
             [("b", QuantumSet::constant(441), QuantumSet::constant(1))],
         )
         .unwrap();
-        let err = compute_buffer_capacities(
-            &tg,
-            ThroughputConstraint::on_sink(rat(1, 44100)).unwrap(),
-        )
-        .unwrap_err();
+        let err =
+            compute_buffer_capacities(&tg, ThroughputConstraint::on_sink(rat(1, 44100)).unwrap())
+                .unwrap_err();
         assert!(matches!(err, AnalysisError::InfeasibleResponseTime { .. }));
 
         // Without enforcement the analysis completes and reports the
@@ -520,14 +507,8 @@ mod tests {
         // deadlock-free capacity is 3; with n constant 2 it is 4.  Eq. (4)
         // with zero response times gives the deadlock-free minimum
         // pi_hat + gamma_hat - 1 for a pair.
-        let c3 = pair_capacity(
-            q(&[3]),
-            q(&[3]),
-            Rational::ZERO,
-            Rational::ZERO,
-            rat(3, 1),
-        )
-        .unwrap();
+        let c3 =
+            pair_capacity(q(&[3]), q(&[3]), Rational::ZERO, Rational::ZERO, rat(3, 1)).unwrap();
         // pi_hat + gamma_hat - 1 = 5 >= 3: sufficient but not minimal;
         // Eq. (4) is a sufficiency bound, not a minimum.
         assert_eq!(c3.capacity, 5);
@@ -548,18 +529,17 @@ mod tests {
     fn source_constrained_chain() {
         // Mirror of the sink case: source strictly periodic.
         let tg = TaskGraph::linear_chain(
-            [("src", rat(1, 10)), ("mid", rat(1, 20)), ("snk", rat(1, 40))],
             [
-                ("b0", q(&[4]), q(&[2])),
-                ("b1", q(&[3]), q(&[1])),
+                ("src", rat(1, 10)),
+                ("mid", rat(1, 20)),
+                ("snk", rat(1, 40)),
             ],
+            [("b0", q(&[4]), q(&[2])), ("b1", q(&[3]), q(&[1]))],
         )
         .unwrap();
-        let analysis = compute_buffer_capacities(
-            &tg,
-            ThroughputConstraint::on_source(rat(2, 5)).unwrap(),
-        )
-        .unwrap();
+        let analysis =
+            compute_buffer_capacities(&tg, ThroughputConstraint::on_source(rat(2, 5)).unwrap())
+                .unwrap();
         assert_eq!(analysis.capacities().len(), 2);
         // token period of b0 = tau / pi_hat = (2/5)/4 = 1/10.
         assert_eq!(analysis.capacities()[0].token_period, rat(1, 10));
@@ -576,11 +556,8 @@ mod tests {
     #[test]
     fn derive_rates_exposes_intermediates() {
         let tg = mp3_task_graph();
-        let (chain, rates) = derive_rates(
-            &tg,
-            ThroughputConstraint::on_sink(rat(1, 44100)).unwrap(),
-        )
-        .unwrap();
+        let (chain, rates) =
+            derive_rates(&tg, ThroughputConstraint::on_sink(rat(1, 44100)).unwrap()).unwrap();
         assert_eq!(chain.len(), 4);
         assert_eq!(rates.pairs().len(), 3);
     }

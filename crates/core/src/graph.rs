@@ -293,10 +293,7 @@ impl VrdfGraph {
 
     /// Iterates over all actors with their handles.
     pub fn actors(&self) -> impl Iterator<Item = (ActorId, &Actor)> {
-        self.actors
-            .iter()
-            .enumerate()
-            .map(|(i, a)| (ActorId(i), a))
+        self.actors.iter().enumerate().map(|(i, a)| (ActorId(i), a))
     }
 
     /// Iterates over all edges with their handles.
@@ -492,9 +489,7 @@ mod tests {
         let mut tg = TaskGraph::new();
         let wa = tg.add_task("wa", rat(1, 10)).unwrap();
         let wb = tg.add_task("wb", rat(1, 20)).unwrap();
-        let buf = tg
-            .connect("b_ab", wa, wb, q(&[3]), q(&[2, 3]))
-            .unwrap();
+        let buf = tg.connect("b_ab", wa, wb, q(&[3]), q(&[2, 3])).unwrap();
         tg.set_capacity(buf, 4);
 
         let (g, map) = VrdfGraph::from_task_graph(&tg).unwrap();

@@ -163,10 +163,7 @@ impl fmt::Display for QuantumSet {
             return write!(f, "{{{}}}", self.values[0]);
         }
         // Render contiguous ranges compactly: {0..960}.
-        let contiguous = self
-            .values
-            .windows(2)
-            .all(|w| w[1] == w[0] + 1);
+        let contiguous = self.values.windows(2).all(|w| w[1] == w[0] + 1);
         if contiguous && self.values.len() > 3 {
             write!(f, "{{{}..{}}}", self.min(), self.max())
         } else {

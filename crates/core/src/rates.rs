@@ -268,10 +268,10 @@ mod tests {
         // Times in seconds.
         TaskGraph::linear_chain(
             [
-                ("vBR", rat(512, 10000)),  // 51.2 ms
-                ("vMP3", rat(24, 1000)),   // 24 ms
-                ("vSRC", rat(10, 1000)),   // 10 ms
-                ("vDAC", rat(1, 44100)),   // one sample period
+                ("vBR", rat(512, 10000)), // 51.2 ms
+                ("vMP3", rat(24, 1000)),  // 24 ms
+                ("vSRC", rat(10, 1000)),  // 10 ms
+                ("vDAC", rat(1, 44100)),  // one sample period
             ],
             [
                 (
@@ -362,7 +362,10 @@ mod tests {
         .unwrap_err();
         assert!(matches!(
             err,
-            AnalysisError::ZeroQuantumNotSupported { role: "production", .. }
+            AnalysisError::ZeroQuantumNotSupported {
+                role: "production",
+                ..
+            }
         ));
     }
 
@@ -392,12 +395,9 @@ mod tests {
         .unwrap();
         let chain = tg.chain().unwrap();
         let tau = rat(1, 5);
-        let rates = RateAssignment::derive(
-            &tg,
-            &chain,
-            ThroughputConstraint::on_source(tau).unwrap(),
-        )
-        .unwrap();
+        let rates =
+            RateAssignment::derive(&tg, &chain, ThroughputConstraint::on_source(tau).unwrap())
+                .unwrap();
         // token period = tau / pi_hat = (1/5)/4.
         assert_eq!(rates.pairs()[0].token_period, rat(1, 20));
         // phi(snk) = token_period * gamma_min = 3/20.
@@ -422,7 +422,10 @@ mod tests {
         .unwrap_err();
         assert!(matches!(
             err,
-            AnalysisError::ZeroQuantumNotSupported { role: "consumption", .. }
+            AnalysisError::ZeroQuantumNotSupported {
+                role: "consumption",
+                ..
+            }
         ));
     }
 

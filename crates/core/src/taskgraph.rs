@@ -430,7 +430,11 @@ impl TaskGraph {
         if count + 1 != ids.len() {
             return Err(AnalysisError::NotAChain {
                 task: "<chain builder>".into(),
-                detail: format!("{} tasks need {} buffers, got {count}", ids.len(), ids.len() - 1),
+                detail: format!(
+                    "{} tasks need {} buffers, got {count}",
+                    ids.len(),
+                    ids.len() - 1
+                ),
             });
         }
         Ok(tg)
@@ -565,15 +569,8 @@ mod tests {
     #[test]
     fn chain_order() {
         let tg = TaskGraph::linear_chain(
-            [
-                ("t0", rat(1, 1)),
-                ("t1", rat(1, 1)),
-                ("t2", rat(1, 1)),
-            ],
-            [
-                ("b0", q(&[2]), q(&[3])),
-                ("b1", q(&[1]), q(&[4])),
-            ],
+            [("t0", rat(1, 1)), ("t1", rat(1, 1)), ("t2", rat(1, 1))],
+            [("b0", q(&[2]), q(&[3])), ("b1", q(&[1]), q(&[4]))],
         )
         .unwrap();
         let chain = tg.chain().unwrap();
@@ -666,10 +663,7 @@ mod tests {
         assert!(matches!(r, Err(AnalysisError::NotAChain { .. })));
         let r = TaskGraph::linear_chain(
             [("a", rat(1, 1)), ("b", rat(1, 1))],
-            [
-                ("b0", q(&[1]), q(&[1])),
-                ("b1", q(&[1]), q(&[1])),
-            ],
+            [("b0", q(&[1]), q(&[1])), ("b1", q(&[1]), q(&[1]))],
         );
         assert!(matches!(r, Err(AnalysisError::NotAChain { .. })));
     }

@@ -1,1 +1,164 @@
-//! Placeholder
+//! # vrdf-sdf — the constant-rate baseline
+//!
+//! The traditional way to size buffers for data-dependent communication
+//! is to pretend the rates are constant: replace every quantum set by the
+//! singleton of its maximum (`ξ(b) → {ξ̂(b)}`, `λ(b) → {λ̂(b)}`) and apply
+//! (C)SDF buffer sizing.  The paper's introduction explains why this is
+//! conservative — consuming *less* than assumed can starve a downstream
+//! task of data the schedule promised, and the VRDF analysis exists
+//! precisely to avoid that over-approximation on the arrival side.
+//!
+//! This crate currently hosts the **constant-max transformation** and the
+//! baseline capacity computation it induces (the comparison column of the
+//! paper's evaluation).  A native multi-phase CSDF substrate is a ROADMAP
+//! item and will grow here.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use vrdf_core::{
+    compute_buffer_capacities, AnalysisError, ChainAnalysis, TaskGraph, ThroughputConstraint,
+};
+
+/// Rewrites every buffer's quantum sets to the singleton of their maxima,
+/// producing the constant-rate (SDF) abstraction of a variable-rate chain.
+///
+/// Task names, response times, and already-assigned capacities carry over.
+///
+/// # Errors
+///
+/// Propagates graph-construction errors; a graph that was valid stays
+/// valid.
+///
+/// # Examples
+///
+/// ```
+/// use vrdf_core::{QuantumSet, Rational, TaskGraph};
+///
+/// let tg = TaskGraph::linear_chain(
+///     [("a", Rational::ONE), ("b", Rational::ONE)],
+///     [("buf", QuantumSet::constant(3), QuantumSet::new([2, 3])?)],
+/// )?;
+/// let sdf = vrdf_sdf::constant_max_abstraction(&tg)?;
+/// let buf = sdf.buffer_by_name("buf").unwrap();
+/// assert!(sdf.buffer(buf).consumption().is_constant());
+/// assert_eq!(sdf.buffer(buf).consumption().max(), 3);
+/// # Ok::<(), vrdf_core::AnalysisError>(())
+/// ```
+pub fn constant_max_abstraction(tg: &TaskGraph) -> Result<TaskGraph, AnalysisError> {
+    let mut out = TaskGraph::new();
+    let mut ids = Vec::with_capacity(tg.task_count());
+    for (_, task) in tg.tasks() {
+        ids.push(out.add_task(task.name(), task.response_time())?);
+    }
+    for (_, buffer) in tg.buffers() {
+        let id = out.connect(
+            buffer.name(),
+            ids[buffer.producer().index()],
+            ids[buffer.consumer().index()],
+            buffer.production().to_constant_max(),
+            buffer.consumption().to_constant_max(),
+        )?;
+        if let Some(capacity) = buffer.capacity() {
+            out.set_capacity(id, capacity);
+        }
+    }
+    Ok(out)
+}
+
+/// Buffer capacities under the constant-max (SDF) abstraction — the
+/// baseline the VRDF capacities are compared against.
+///
+/// For chains the bound rates coincide with the VRDF ones (both are
+/// driven by the maximum quanta), so on the paper's MP3 chain the
+/// baseline reproduces the same capacities; the difference appears in
+/// *admissibility* — the SDF abstraction cannot execute sequences that
+/// consume less than the maximum, while the VRDF capacities are valid for
+/// all of them.
+///
+/// # Errors
+///
+/// Same as [`compute_buffer_capacities`].
+pub fn constant_max_capacities(
+    tg: &TaskGraph,
+    constraint: ThroughputConstraint,
+) -> Result<ChainAnalysis, AnalysisError> {
+    compute_buffer_capacities(&constant_max_abstraction(tg)?, constraint)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrdf_core::{rat, QuantumSet, Rational};
+
+    #[test]
+    fn abstraction_is_constant_and_preserves_structure() {
+        let mut tg = TaskGraph::linear_chain(
+            [("a", rat(1, 10)), ("b", rat(1, 20)), ("c", rat(1, 40))],
+            [
+                (
+                    "b0",
+                    QuantumSet::new([1, 4]).unwrap(),
+                    QuantumSet::new([0, 2]).unwrap(),
+                ),
+                (
+                    "b1",
+                    QuantumSet::constant(3),
+                    QuantumSet::new([1, 2]).unwrap(),
+                ),
+            ],
+        )
+        .unwrap();
+        tg.set_capacity(tg.buffer_by_name("b0").unwrap(), 9);
+        let sdf = constant_max_abstraction(&tg).unwrap();
+        assert_eq!(sdf.task_count(), 3);
+        assert_eq!(sdf.buffer_count(), 2);
+        for (_, buffer) in sdf.buffers() {
+            assert!(buffer.production().is_constant());
+            assert!(buffer.consumption().is_constant());
+        }
+        let b0 = sdf.buffer_by_name("b0").unwrap();
+        assert_eq!(sdf.buffer(b0).production().max(), 4);
+        assert_eq!(sdf.buffer(b0).consumption().max(), 2);
+        assert_eq!(sdf.buffer(b0).capacity(), Some(9));
+        assert_eq!(
+            sdf.task(sdf.task_by_name("b").unwrap()).response_time(),
+            rat(1, 20)
+        );
+    }
+
+    #[test]
+    fn baseline_matches_vrdf_on_the_mp3_chain() {
+        // On chains both analyses are driven by the maximum quanta, so the
+        // MP3 capacities coincide — the distinction is admissibility, not
+        // the numbers.
+        let tg = vrdf_apps_free_mp3();
+        let constraint = ThroughputConstraint::on_sink(Rational::new(1, 44_100)).unwrap();
+        let baseline = constant_max_capacities(&tg, constraint).unwrap();
+        let caps: Vec<u64> = baseline.capacities().iter().map(|c| c.capacity).collect();
+        assert_eq!(caps, vec![6015, 3263, 882]);
+    }
+
+    /// A local copy of the MP3 chain (vrdf-sdf does not depend on
+    /// vrdf-apps; the dependency points the other way for future work).
+    fn vrdf_apps_free_mp3() -> TaskGraph {
+        TaskGraph::linear_chain(
+            [
+                ("vBR", rat(512, 10_000)),
+                ("vMP3", rat(24, 1000)),
+                ("vSRC", rat(10, 1000)),
+                ("vDAC", rat(1, 44_100)),
+            ],
+            [
+                (
+                    "d1",
+                    QuantumSet::constant(2048),
+                    QuantumSet::range_inclusive(0, 960).unwrap(),
+                ),
+                ("d2", QuantumSet::constant(1152), QuantumSet::constant(480)),
+                ("d3", QuantumSet::constant(441), QuantumSet::constant(1)),
+            ],
+        )
+        .unwrap()
+    }
+}

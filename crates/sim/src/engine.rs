@@ -1,0 +1,989 @@
+//! The self-timed discrete-event executor.
+//!
+//! The engine executes a chain-shaped [`TaskGraph`] under the paper's
+//! operational semantics (Section 3): a task may start a firing when its
+//! input buffer holds enough full containers *and* its output buffer holds
+//! enough empty containers for the quanta of that firing; containers are
+//! claimed atomically at the start, the firing occupies the task for its
+//! worst-case response time `κ(w)`, consumed containers are freed and
+//! produced containers become full at the finish.  Every unconstrained
+//! task runs *self-timed* — it fires as soon as it is enabled.
+//!
+//! The throughput-constrained endpoint (sink or source) can run in two
+//! modes:
+//!
+//! * [`EndpointBehavior::SelfTimed`] — it too fires as soon as enabled;
+//!   the report then carries the endpoint's maximum *drift* against the
+//!   ideal period, a lower-bound feasibility probe.
+//! * [`EndpointBehavior::StrictlyPeriodic`] — firing `k` is released at
+//!   `offset + k·τ` and must start exactly then; a firing that cannot
+//!   start at its release is a [`Violation`] (deadline miss).  This is the
+//!   executable form of the paper's throughput constraint.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use vrdf_core::{
+    BufferId, ConstrainedRelease, ConstraintLocation, Rational, TaskGraph, TaskId,
+    ThroughputConstraint,
+};
+
+use crate::policy::{QuantumPlan, Side};
+use crate::SimError;
+
+/// How the throughput-constrained endpoint task is scheduled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EndpointBehavior {
+    /// The endpoint fires as soon as it is enabled, like every other task.
+    SelfTimed,
+    /// Firing `k` of the endpoint is released at `offset + k·τ` and counts
+    /// as a deadline miss if it cannot start at that instant.
+    StrictlyPeriodic {
+        /// Release time of firing 0.
+        offset: Rational,
+    },
+}
+
+/// How much of the firing history to keep in the report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum TraceLevel {
+    /// Keep only aggregate statistics.
+    #[default]
+    None,
+    /// Record every firing of the constrained endpoint.
+    Endpoint,
+    /// Record every firing of every task.
+    All,
+}
+
+/// Configuration of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// The throughput constraint: which endpoint is constrained and the
+    /// period `τ` it must sustain.
+    pub constraint: ThroughputConstraint,
+    /// Scheduling mode of the constrained endpoint.
+    pub behavior: EndpointBehavior,
+    /// When the constrained endpoint frees the containers it consumed —
+    /// must match the convention the analysis was run with.
+    pub release: ConstrainedRelease,
+    /// Stop after the endpoint has completed this many firings.
+    pub max_endpoint_firings: u64,
+    /// Stop before processing any event later than this time.
+    pub max_time: Option<Rational>,
+    /// Hard cap on processed events, guarding against zero-response-time
+    /// livelock.
+    pub max_events: u64,
+    /// Firing-history retention.
+    pub trace: TraceLevel,
+    /// Stop at the first deadline miss instead of collecting all of them.
+    pub stop_on_violation: bool,
+}
+
+impl SimConfig {
+    /// Self-timed run: everything (endpoint included) fires when enabled.
+    pub fn self_timed(constraint: ThroughputConstraint) -> SimConfig {
+        SimConfig {
+            constraint,
+            behavior: EndpointBehavior::SelfTimed,
+            release: ConstrainedRelease::default(),
+            max_endpoint_firings: 10_000,
+            max_time: None,
+            max_events: 50_000_000,
+            trace: TraceLevel::None,
+            stop_on_violation: false,
+        }
+    }
+
+    /// Strictly periodic endpoint released first at `offset`.
+    pub fn periodic(constraint: ThroughputConstraint, offset: Rational) -> SimConfig {
+        SimConfig {
+            behavior: EndpointBehavior::StrictlyPeriodic { offset },
+            ..SimConfig::self_timed(constraint)
+        }
+    }
+}
+
+/// Why a task could not start a firing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BlockReason {
+    /// The previous firing of the task had not finished.
+    Busy,
+    /// Not enough full containers on the input buffer.
+    NeedTokens {
+        /// The starving buffer.
+        buffer: BufferId,
+        /// Full containers available.
+        have: u64,
+        /// Full containers the firing's consumption quantum needs.
+        need: u64,
+    },
+    /// Not enough empty containers on the output buffer.
+    NeedSpace {
+        /// The congested buffer.
+        buffer: BufferId,
+        /// Empty containers available.
+        have: u64,
+        /// Empty containers the firing's production quantum needs.
+        need: u64,
+    },
+    /// A strictly periodic endpoint whose next release has not arrived.
+    NotReleased,
+}
+
+impl fmt::Display for BlockReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockReason::Busy => f.write_str("previous firing still executing"),
+            BlockReason::NeedTokens { buffer, have, need } => {
+                write!(
+                    f,
+                    "{buffer} holds {have} full containers, firing needs {need}"
+                )
+            }
+            BlockReason::NeedSpace { buffer, have, need } => {
+                write!(
+                    f,
+                    "{buffer} holds {have} empty containers, firing needs {need}"
+                )
+            }
+            BlockReason::NotReleased => f.write_str("waiting for the next periodic release"),
+        }
+    }
+}
+
+/// A strict-periodicity violation of the constrained endpoint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Zero-based firing index of the endpoint.
+    pub firing: u64,
+    /// The release time `offset + firing·τ` the start was due at.
+    pub release: Rational,
+    /// Why the firing could not start at its release.
+    pub reason: BlockReason,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "deadline miss at firing {} (release {}): {}",
+            self.firing, self.release, self.reason
+        )
+    }
+}
+
+/// How a run ended.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimOutcome {
+    /// The endpoint completed the requested number of firings.
+    Completed,
+    /// The time horizon was reached before the firing quota.
+    HorizonReached,
+    /// No task could ever fire again.
+    Deadlock {
+        /// Time of the last event before the standstill.
+        time: Rational,
+        /// Why each unfinished task is blocked.
+        blocked: Vec<(TaskId, BlockReason)>,
+    },
+    /// The event budget ran out (livelock guard).
+    EventBudgetExhausted,
+    /// The run stopped early at the first violation
+    /// ([`SimConfig::stop_on_violation`]).
+    StoppedOnViolation,
+}
+
+/// One recorded firing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FiringRecord {
+    /// The firing task.
+    pub task: TaskId,
+    /// Zero-based firing index of that task.
+    pub firing: u64,
+    /// Start time (containers claimed here).
+    pub start: Rational,
+    /// Finish time (productions and frees land here).
+    pub finish: Rational,
+    /// Consumption quantum drawn for this firing (0 when the task has no
+    /// input buffer).
+    pub consumed: u64,
+    /// Production quantum drawn for this firing (0 when the task has no
+    /// output buffer).
+    pub produced: u64,
+}
+
+/// Aggregate statistics of the constrained endpoint.
+#[derive(Clone, Debug)]
+pub struct EndpointStats {
+    /// The endpoint task.
+    pub task: TaskId,
+    /// Completed firings.
+    pub firings: u64,
+    /// Start time of firing 0, if it happened.
+    pub first_start: Option<Rational>,
+    /// Start time of the last firing.
+    pub last_start: Option<Rational>,
+    /// Self-timed mode: `max_k (s_k − k·τ)` over observed starts — the
+    /// smallest strictly periodic offset consistent with this run.
+    pub max_drift: Option<Rational>,
+    /// Periodic mode: maximum start lateness past a release.
+    pub max_lateness: Option<Rational>,
+}
+
+/// Aggregate statistics of one buffer.
+#[derive(Clone, Debug)]
+pub struct BufferStats {
+    /// The buffer.
+    pub buffer: BufferId,
+    /// Its name.
+    pub name: String,
+    /// Capacity `ζ(b)` the run used.
+    pub capacity: u64,
+    /// High-water mark of containers in use (full + claimed), never above
+    /// `capacity` by construction.
+    pub max_occupancy: u64,
+    /// Total containers produced into the buffer.
+    pub produced: u64,
+    /// Total containers consumed from the buffer.
+    pub consumed: u64,
+}
+
+/// Aggregate statistics of one task.
+#[derive(Clone, Debug)]
+pub struct TaskStats {
+    /// The task.
+    pub task: TaskId,
+    /// Its name.
+    pub name: String,
+    /// Completed firings.
+    pub firings: u64,
+    /// Total time spent executing firings.
+    pub busy_time: Rational,
+}
+
+/// The result of one simulation run.
+#[derive(Clone, Debug)]
+pub struct SimReport {
+    /// How the run ended.
+    pub outcome: SimOutcome,
+    /// Strict-periodicity violations of the endpoint (periodic mode only).
+    pub violations: Vec<Violation>,
+    /// Endpoint statistics.
+    pub endpoint: EndpointStats,
+    /// Per-buffer statistics, in chain order.
+    pub buffers: Vec<BufferStats>,
+    /// Per-task statistics, in chain order.
+    pub tasks: Vec<TaskStats>,
+    /// Recorded firings, per [`TraceLevel`].
+    pub trace: Vec<FiringRecord>,
+    /// Number of processed events.
+    pub events_processed: u64,
+    /// Time of the last processed event.
+    pub end_time: Rational,
+}
+
+impl SimReport {
+    /// `true` when the run completed its quota (or horizon) with zero
+    /// violations and no deadlock.
+    pub fn ok(&self) -> bool {
+        matches!(
+            self.outcome,
+            SimOutcome::Completed | SimOutcome::HorizonReached
+        ) && self.violations.is_empty()
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EventKind {
+    Finish { task: usize },
+    Release,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Event {
+    time: Rational,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering so BinaryHeap pops the earliest event; ties
+        // break FIFO by sequence number.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum TaskState {
+    Idle,
+    Busy { consumed: u64, produced: u64 },
+}
+
+struct BufState {
+    id: BufferId,
+    tokens: u64,
+    space: u64,
+    capacity: u64,
+    max_occupancy: u64,
+    produced: u64,
+    consumed: u64,
+}
+
+struct TaskCtx {
+    id: TaskId,
+    rho: Rational,
+    /// Index into the buffer-state vector, if the task has an input.
+    input: Option<usize>,
+    /// Index into the buffer-state vector, if the task has an output.
+    output: Option<usize>,
+    state: TaskState,
+    started: u64,
+    finished: u64,
+    busy_time: Rational,
+}
+
+/// The discrete-event simulator; see the module docs for the semantics.
+///
+/// # Examples
+///
+/// ```
+/// use vrdf_core::{compute_buffer_capacities, QuantumSet, Rational, TaskGraph,
+///     ThroughputConstraint};
+/// use vrdf_sim::{QuantumPlan, QuantumPolicy, SimConfig, Simulator};
+///
+/// let mut tg = TaskGraph::linear_chain(
+///     [("wa", Rational::ONE), ("wb", Rational::ONE)],
+///     [("b", QuantumSet::constant(3), QuantumSet::new([2, 3])?)],
+/// )?;
+/// let constraint = ThroughputConstraint::on_sink(Rational::from(3u64))?;
+/// compute_buffer_capacities(&tg, constraint)?.apply(&mut tg);
+///
+/// let mut config = SimConfig::self_timed(constraint);
+/// config.max_endpoint_firings = 100;
+/// let report = Simulator::new(&tg, QuantumPlan::uniform(QuantumPolicy::Max), config)?
+///     .run();
+/// assert!(report.ok());
+/// assert_eq!(report.endpoint.firings, 100);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Simulator<'a> {
+    tg: &'a TaskGraph,
+    plan: QuantumPlan,
+    config: SimConfig,
+    tasks: Vec<TaskCtx>,
+    buffers: Vec<BufState>,
+    /// Chain position of the constrained endpoint in `tasks`.
+    endpoint: usize,
+    period: Rational,
+    heap: BinaryHeap<Event>,
+    seq: u64,
+    releases_issued: u64,
+    violations: Vec<Violation>,
+    trace: Vec<FiringRecord>,
+    events_processed: u64,
+    now: Rational,
+    first_start: Option<Rational>,
+    last_start: Option<Rational>,
+    max_drift: Option<Rational>,
+    max_lateness: Option<Rational>,
+}
+
+impl<'a> Simulator<'a> {
+    /// Builds a simulator over a chain whose buffer capacities `ζ(b)` are
+    /// all set (use [`vrdf_core::ChainAnalysis::apply`] or
+    /// [`TaskGraph::set_capacity`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Analysis`] — the graph is not a valid chain.
+    /// * [`SimError::CapacityUnset`] — a buffer has no capacity.
+    /// * [`SimError::QuantumNotInSet`] / [`SimError::EmptyCycle`] — the
+    ///   plan draws values outside a buffer's quantum set.
+    pub fn new(
+        tg: &'a TaskGraph,
+        plan: QuantumPlan,
+        config: SimConfig,
+    ) -> Result<Simulator<'a>, SimError> {
+        let chain = tg.chain().map_err(SimError::Analysis)?;
+        plan.validate(tg)?;
+
+        let mut buffers = Vec::with_capacity(chain.buffers().len());
+        for &bid in chain.buffers() {
+            let buffer = tg.buffer(bid);
+            let capacity = buffer.capacity().ok_or_else(|| SimError::CapacityUnset {
+                buffer: buffer.name().to_owned(),
+            })?;
+            buffers.push(BufState {
+                id: bid,
+                tokens: 0,
+                space: capacity,
+                capacity,
+                max_occupancy: 0,
+                produced: 0,
+                consumed: 0,
+            });
+        }
+
+        let mut tasks = Vec::with_capacity(chain.tasks().len());
+        for (pos, &tid) in chain.tasks().iter().enumerate() {
+            tasks.push(TaskCtx {
+                id: tid,
+                rho: tg.task(tid).response_time(),
+                input: pos.checked_sub(1),
+                output: (pos < chain.buffers().len()).then_some(pos),
+                state: TaskState::Idle,
+                started: 0,
+                finished: 0,
+                busy_time: Rational::ZERO,
+            });
+        }
+
+        let endpoint = match config.constraint.location() {
+            ConstraintLocation::Sink => tasks.len() - 1,
+            ConstraintLocation::Source => 0,
+        };
+        let period = config.constraint.period();
+
+        let mut sim = Simulator {
+            tg,
+            plan,
+            config,
+            tasks,
+            buffers,
+            endpoint,
+            period,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            releases_issued: 0,
+            violations: Vec::new(),
+            trace: Vec::new(),
+            events_processed: 0,
+            now: Rational::ZERO,
+            first_start: None,
+            last_start: None,
+            max_drift: None,
+            max_lateness: None,
+        };
+        if let EndpointBehavior::StrictlyPeriodic { offset } = sim.config.behavior {
+            if sim.config.max_endpoint_firings > 0 {
+                sim.push(offset, EventKind::Release);
+            }
+        }
+        Ok(sim)
+    }
+
+    fn push(&mut self, time: Rational, kind: EventKind) {
+        self.seq += 1;
+        self.heap.push(Event {
+            time,
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    /// The quanta firing `k` of the task at chain position `pos` would
+    /// transfer.
+    fn quanta_for(&self, pos: usize, k: u64) -> (u64, u64) {
+        let consumed = self.tasks[pos].input.map_or(0, |bi| {
+            let buffer = self.tg.buffer(self.buffers[bi].id);
+            self.plan.draw(
+                buffer.consumption(),
+                self.buffers[bi].id.index(),
+                Side::Consumption,
+                k,
+            )
+        });
+        let produced = self.tasks[pos].output.map_or(0, |bi| {
+            let buffer = self.tg.buffer(self.buffers[bi].id);
+            self.plan.draw(
+                buffer.production(),
+                self.buffers[bi].id.index(),
+                Side::Production,
+                k,
+            )
+        });
+        (consumed, produced)
+    }
+
+    /// Whether the task at `pos` can start its next firing right now:
+    /// `Ok` with the firing's quanta (so the caller need not draw them
+    /// again), or `Err` with why not.  `honor_release` controls whether a
+    /// periodic endpoint is held back between releases.
+    fn startable(&self, pos: usize, honor_release: bool) -> Result<(u64, u64), BlockReason> {
+        let task = &self.tasks[pos];
+        if matches!(task.state, TaskState::Busy { .. }) {
+            return Err(BlockReason::Busy);
+        }
+        if pos == self.endpoint {
+            if task.started >= self.config.max_endpoint_firings {
+                return Err(BlockReason::NotReleased);
+            }
+            if honor_release
+                && matches!(
+                    self.config.behavior,
+                    EndpointBehavior::StrictlyPeriodic { .. }
+                )
+                && task.started >= self.releases_issued
+            {
+                return Err(BlockReason::NotReleased);
+            }
+        }
+        let (consumed, produced) = self.quanta_for(pos, task.started);
+        if let Some(bi) = task.input {
+            let b = &self.buffers[bi];
+            if b.tokens < consumed {
+                return Err(BlockReason::NeedTokens {
+                    buffer: b.id,
+                    have: b.tokens,
+                    need: consumed,
+                });
+            }
+        }
+        if let Some(bi) = task.output {
+            let b = &self.buffers[bi];
+            if b.space < produced {
+                return Err(BlockReason::NeedSpace {
+                    buffer: b.id,
+                    have: b.space,
+                    need: produced,
+                });
+            }
+        }
+        Ok((consumed, produced))
+    }
+
+    fn start_firing(&mut self, pos: usize, consumed: u64, produced: u64) {
+        let k = self.tasks[pos].started;
+        let immediate_free =
+            pos == self.endpoint && self.config.release == ConstrainedRelease::Immediate;
+        if let Some(bi) = self.tasks[pos].input {
+            let b = &mut self.buffers[bi];
+            b.tokens -= consumed;
+            b.consumed += consumed;
+            if immediate_free {
+                b.space += consumed;
+            }
+        }
+        if let Some(bi) = self.tasks[pos].output {
+            let b = &mut self.buffers[bi];
+            b.space -= produced;
+            b.max_occupancy = b.max_occupancy.max(b.capacity - b.space);
+        }
+        let start = self.now;
+        let rho = self.tasks[pos].rho;
+        let finish = start + rho;
+        {
+            let task = &mut self.tasks[pos];
+            task.state = TaskState::Busy { consumed, produced };
+            task.started += 1;
+            task.busy_time += rho;
+        }
+        self.push(finish, EventKind::Finish { task: pos });
+
+        if pos == self.endpoint {
+            self.first_start.get_or_insert(start);
+            self.last_start = Some(start);
+            match self.config.behavior {
+                EndpointBehavior::SelfTimed => {
+                    let drift = start - Rational::from(k) * self.period;
+                    self.max_drift = Some(self.max_drift.map_or(drift, |d| d.max(drift)));
+                }
+                EndpointBehavior::StrictlyPeriodic { offset } => {
+                    let lateness = start - (offset + Rational::from(k) * self.period);
+                    self.max_lateness =
+                        Some(self.max_lateness.map_or(lateness, |d| d.max(lateness)));
+                }
+            }
+        }
+        let record = match self.config.trace {
+            TraceLevel::All => true,
+            TraceLevel::Endpoint => pos == self.endpoint,
+            TraceLevel::None => false,
+        };
+        if record {
+            self.trace.push(FiringRecord {
+                task: self.tasks[pos].id,
+                firing: k,
+                start,
+                finish,
+                consumed,
+                produced,
+            });
+        }
+    }
+
+    fn apply_finish(&mut self, pos: usize) {
+        let (consumed, produced) = match self.tasks[pos].state {
+            TaskState::Busy { consumed, produced } => (consumed, produced),
+            TaskState::Idle => unreachable!("finish event for an idle task"),
+        };
+        let immediate_free =
+            pos == self.endpoint && self.config.release == ConstrainedRelease::Immediate;
+        if let Some(bi) = self.tasks[pos].input {
+            if !immediate_free {
+                self.buffers[bi].space += consumed;
+            }
+        }
+        if let Some(bi) = self.tasks[pos].output {
+            let b = &mut self.buffers[bi];
+            b.tokens += produced;
+            b.produced += produced;
+        }
+        let task = &mut self.tasks[pos];
+        task.state = TaskState::Idle;
+        task.finished += 1;
+    }
+
+    /// Starts every startable task; returns whether anything started.
+    fn try_starts(&mut self) -> bool {
+        let mut any = false;
+        // Sweep until stable: one start can enable a neighbour at the same
+        // instant (e.g. a zero-response-time handoff).
+        loop {
+            let mut progressed = false;
+            for pos in 0..self.tasks.len() {
+                if let Ok((consumed, produced)) = self.startable(pos, true) {
+                    self.start_firing(pos, consumed, produced);
+                    progressed = true;
+                    any = true;
+                }
+            }
+            if !progressed {
+                return any;
+            }
+        }
+    }
+
+    /// Pops and applies every event scheduled exactly at `self.now`;
+    /// returns whether anything was processed.
+    fn drain_events_at_now(&mut self) -> bool {
+        let mut any = false;
+        while let Some(event) = self.heap.peek() {
+            if event.time != self.now {
+                break;
+            }
+            let event = self.heap.pop().expect("peeked");
+            self.events_processed += 1;
+            any = true;
+            match event.kind {
+                EventKind::Finish { task } => self.apply_finish(task),
+                EventKind::Release => {
+                    self.releases_issued += 1;
+                    if self.releases_issued < self.config.max_endpoint_firings {
+                        self.push(event.time + self.period, EventKind::Release);
+                    }
+                }
+            }
+        }
+        any
+    }
+
+    /// After the instant `self.now` has fully settled, records a deadline
+    /// miss for every release that passed without the endpoint starting.
+    fn check_misses(&mut self) {
+        if let EndpointBehavior::StrictlyPeriodic { offset } = self.config.behavior {
+            let started = self.tasks[self.endpoint].started;
+            for firing in started..self.releases_issued {
+                let release = offset + Rational::from(firing) * self.period;
+                if release < self.now {
+                    // Already reported when its instant settled.
+                    continue;
+                }
+                let reason = self
+                    .startable(self.endpoint, false)
+                    .err()
+                    .unwrap_or(BlockReason::NotReleased);
+                self.violations.push(Violation {
+                    firing,
+                    release,
+                    reason,
+                });
+            }
+        }
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    pub fn run(mut self) -> SimReport {
+        let outcome = self.run_loop();
+        let endpoint = EndpointStats {
+            task: self.tasks[self.endpoint].id,
+            firings: self.tasks[self.endpoint].finished,
+            first_start: self.first_start,
+            last_start: self.last_start,
+            max_drift: self.max_drift,
+            max_lateness: self.max_lateness,
+        };
+        let buffers = self
+            .buffers
+            .iter()
+            .map(|b| BufferStats {
+                buffer: b.id,
+                name: self.tg.buffer(b.id).name().to_owned(),
+                capacity: b.capacity,
+                max_occupancy: b.max_occupancy,
+                produced: b.produced,
+                consumed: b.consumed,
+            })
+            .collect();
+        let tasks = self
+            .tasks
+            .iter()
+            .map(|t| TaskStats {
+                task: t.id,
+                name: self.tg.task(t.id).name().to_owned(),
+                firings: t.finished,
+                busy_time: t.busy_time,
+            })
+            .collect();
+        SimReport {
+            outcome,
+            violations: self.violations,
+            endpoint,
+            buffers,
+            tasks,
+            trace: self.trace,
+            events_processed: self.events_processed,
+            end_time: self.now,
+        }
+    }
+
+    fn run_loop(&mut self) -> SimOutcome {
+        loop {
+            // Settle the current instant: alternate event draining and
+            // task starts until neither makes progress.
+            loop {
+                let drained = self.drain_events_at_now();
+                let started = self.try_starts();
+                if self.events_processed > self.config.max_events {
+                    return SimOutcome::EventBudgetExhausted;
+                }
+                if !drained && !started {
+                    break;
+                }
+            }
+            self.check_misses();
+            if self.config.stop_on_violation && !self.violations.is_empty() {
+                return SimOutcome::StoppedOnViolation;
+            }
+            if self.tasks[self.endpoint].finished >= self.config.max_endpoint_firings {
+                return SimOutcome::Completed;
+            }
+            // Advance to the next event.
+            match self.heap.peek() {
+                Some(event) => {
+                    if let Some(max_time) = self.config.max_time {
+                        if event.time > max_time {
+                            return SimOutcome::HorizonReached;
+                        }
+                    }
+                    self.now = event.time;
+                }
+                None => {
+                    let blocked = (0..self.tasks.len())
+                        .filter_map(|pos| {
+                            self.startable(pos, true)
+                                .err()
+                                .map(|reason| (self.tasks[pos].id, reason))
+                        })
+                        .collect();
+                    return SimOutcome::Deadlock {
+                        time: self.now,
+                        blocked,
+                    };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrdf_core::{compute_buffer_capacities, rat, QuantumSet};
+
+    use crate::policy::QuantumPolicy;
+
+    fn q(values: &[u64]) -> QuantumSet {
+        QuantumSet::new(values.iter().copied()).unwrap()
+    }
+
+    fn fig1_graph(capacity: u64) -> (TaskGraph, ThroughputConstraint) {
+        let mut tg = TaskGraph::linear_chain(
+            [("wa", rat(1, 1)), ("wb", rat(1, 1))],
+            [("b", q(&[3]), q(&[2, 3]))],
+        )
+        .unwrap();
+        let buf = tg.buffer_by_name("b").unwrap();
+        tg.set_capacity(buf, capacity);
+        (tg, ThroughputConstraint::on_sink(rat(3, 1)).unwrap())
+    }
+
+    #[test]
+    fn self_timed_pair_runs_to_quota() {
+        let (tg, constraint) = fig1_graph(5);
+        let mut config = SimConfig::self_timed(constraint);
+        config.max_endpoint_firings = 50;
+        config.trace = TraceLevel::All;
+        let report = Simulator::new(&tg, QuantumPlan::uniform(QuantumPolicy::Max), config)
+            .unwrap()
+            .run();
+        assert!(report.ok());
+        assert_eq!(report.outcome, SimOutcome::Completed);
+        assert_eq!(report.endpoint.firings, 50);
+        // Token conservation: everything produced was consumed or is held.
+        let b = &report.buffers[0];
+        assert!(b.produced - b.consumed <= b.capacity);
+        assert!(b.max_occupancy <= b.capacity);
+        // Traces cover both tasks.
+        assert!(report.trace.iter().any(|r| r.task.index() == 0));
+        assert!(report.trace.iter().any(|r| r.task.index() == 1));
+    }
+
+    #[test]
+    fn capacity_below_max_quantum_deadlocks() {
+        // The consumer needs up to 3 full containers but the buffer can
+        // only ever hold 2.
+        let (tg, constraint) = fig1_graph(2);
+        let mut config = SimConfig::self_timed(constraint);
+        config.max_endpoint_firings = 10;
+        let report = Simulator::new(&tg, QuantumPlan::uniform(QuantumPolicy::Max), config)
+            .unwrap()
+            .run();
+        assert!(!report.ok());
+        match &report.outcome {
+            SimOutcome::Deadlock { blocked, .. } => {
+                assert!(blocked
+                    .iter()
+                    .any(|(_, r)| matches!(r, BlockReason::NeedTokens { need: 3, .. })));
+            }
+            other => panic!("expected deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn periodic_endpoint_fires_exactly_on_releases() {
+        let (mut tg, constraint) = fig1_graph(0);
+        compute_buffer_capacities(&tg, constraint)
+            .unwrap()
+            .apply(&mut tg);
+        let mut config = SimConfig::periodic(constraint, rat(10, 1));
+        config.max_endpoint_firings = 25;
+        config.trace = TraceLevel::Endpoint;
+        let report = Simulator::new(&tg, QuantumPlan::uniform(QuantumPolicy::Max), config)
+            .unwrap()
+            .run();
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert_eq!(report.endpoint.max_lateness, Some(Rational::ZERO));
+        for (k, record) in report.trace.iter().enumerate() {
+            assert_eq!(
+                record.start,
+                rat(10, 1) + rat(3, 1) * Rational::from(k as u64)
+            );
+        }
+    }
+
+    #[test]
+    fn starved_periodic_endpoint_reports_misses() {
+        // A sink released before any data can reach it.
+        let (mut tg, constraint) = fig1_graph(0);
+        compute_buffer_capacities(&tg, constraint)
+            .unwrap()
+            .apply(&mut tg);
+        let mut config = SimConfig::periodic(constraint, Rational::ZERO);
+        config.max_endpoint_firings = 5;
+        config.stop_on_violation = true;
+        let report = Simulator::new(&tg, QuantumPlan::uniform(QuantumPolicy::Max), config)
+            .unwrap()
+            .run();
+        assert!(!report.ok());
+        assert_eq!(report.outcome, SimOutcome::StoppedOnViolation);
+        let miss = &report.violations[0];
+        assert_eq!(miss.firing, 0);
+        assert_eq!(miss.release, Rational::ZERO);
+        assert!(matches!(miss.reason, BlockReason::NeedTokens { .. }));
+    }
+
+    #[test]
+    fn unset_capacity_is_rejected() {
+        let mut tg = TaskGraph::linear_chain(
+            [("wa", rat(1, 1)), ("wb", rat(1, 1))],
+            [("b", q(&[1]), q(&[1]))],
+        )
+        .unwrap();
+        let constraint = ThroughputConstraint::on_sink(rat(1, 1)).unwrap();
+        let err = Simulator::new(
+            &tg,
+            QuantumPlan::uniform(QuantumPolicy::Max),
+            SimConfig::self_timed(constraint),
+        )
+        .err()
+        .unwrap();
+        assert!(matches!(err, SimError::CapacityUnset { .. }));
+        // And a non-chain graph propagates the analysis error.
+        let a = tg.task_by_name("wa").unwrap();
+        let b = tg.task_by_name("wb").unwrap();
+        tg.connect("back", b, a, q(&[1]), q(&[1])).unwrap();
+        let err = Simulator::new(
+            &tg,
+            QuantumPlan::uniform(QuantumPolicy::Max),
+            SimConfig::self_timed(constraint),
+        )
+        .err()
+        .unwrap();
+        assert!(matches!(err, SimError::Analysis(_)));
+    }
+
+    #[test]
+    fn event_budget_guards_zero_response_loops() {
+        // Source with zero response time and plentiful space spins at t=0;
+        // the budget stops it.
+        let mut tg = TaskGraph::linear_chain(
+            [("wa", Rational::ZERO), ("wb", rat(1, 1))],
+            [("b", q(&[1]), q(&[1]))],
+        )
+        .unwrap();
+        let buf = tg.buffer_by_name("b").unwrap();
+        tg.set_capacity(buf, 1000);
+        let constraint = ThroughputConstraint::on_sink(rat(1, 1)).unwrap();
+        let mut config = SimConfig::self_timed(constraint);
+        config.max_endpoint_firings = u64::MAX;
+        config.max_events = 5_000;
+        let report = Simulator::new(&tg, QuantumPlan::uniform(QuantumPolicy::Max), config)
+            .unwrap()
+            .run();
+        assert_eq!(report.outcome, SimOutcome::EventBudgetExhausted);
+    }
+
+    #[test]
+    fn source_constrained_periodic_source() {
+        let mut tg = TaskGraph::linear_chain(
+            [("src", rat(1, 10)), ("snk", rat(1, 40))],
+            [("b", q(&[4]), q(&[2]))],
+        )
+        .unwrap();
+        let constraint = ThroughputConstraint::on_source(rat(2, 5)).unwrap();
+        compute_buffer_capacities(&tg, constraint)
+            .unwrap()
+            .apply(&mut tg);
+        let mut config = SimConfig::periodic(constraint, Rational::ZERO);
+        config.max_endpoint_firings = 200;
+        let report = Simulator::new(&tg, QuantumPlan::uniform(QuantumPolicy::Max), config)
+            .unwrap()
+            .run();
+        assert!(report.ok(), "violations: {:?}", report.violations);
+        assert_eq!(report.endpoint.firings, 200);
+        assert_eq!(report.endpoint.task, tg.task_by_name("src").unwrap());
+    }
+}

@@ -1,1 +1,149 @@
-//! Placeholder
+//! # vrdf-sim — self-timed simulation of VRDF task chains
+//!
+//! The companion executor to [`vrdf_core`]: a discrete-event, self-timed
+//! simulator of chain-shaped [`vrdf_core::TaskGraph`]s over bounded FIFO
+//! buffers with back-pressure.  Where `vrdf-core` *derives* buffer
+//! capacities that are sufficient for a throughput constraint,
+//! `vrdf-sim` *executes* the chain — with pluggable per-firing quantum
+//! sequences ([`QuantumPlan`]) and the constrained endpoint either
+//! self-timed or forced strictly periodic — and checks the constraint
+//! operationally.  This reproduces the paper's own validation method: the
+//! MP3 chain of Section 5 was verified by self-timed simulation.
+//!
+//! ## Layers
+//!
+//! * [`policy`] — deterministic quantum sequences (constant, cyclic,
+//!   min/max corners, seeded random), reproducible across runs.
+//! * [`engine`] — the event-driven executor: [`Simulator`], [`SimConfig`],
+//!   firing traces, deadline-miss and deadlock detection.
+//! * [`validate`] — [`validate_capacities`], the executable oracle for the
+//!   paper's sufficiency theorem: replay arbitrary admissible quantum
+//!   scenarios against the capacities the analysis computed and confirm
+//!   strict periodicity is never violated.
+//!
+//! ## Quick start
+//!
+//! Cross-validate the Fig. 1 pair end-to-end:
+//!
+//! ```
+//! use vrdf_core::{compute_buffer_capacities, QuantumSet, Rational, TaskGraph,
+//!     ThroughputConstraint};
+//! use vrdf_sim::{validate_capacities, ValidationOptions};
+//!
+//! let tg = TaskGraph::linear_chain(
+//!     [("wa", Rational::ONE), ("wb", Rational::ONE)],
+//!     [("b", QuantumSet::constant(3), QuantumSet::new([2, 3])?)],
+//! )?;
+//! let constraint = ThroughputConstraint::on_sink(Rational::from(3u64))?;
+//! let analysis = compute_buffer_capacities(&tg, constraint)?;
+//!
+//! let mut opts = ValidationOptions::default();
+//! opts.endpoint_firings = 1_000;
+//! let report = validate_capacities(&tg, &analysis, &opts)?;
+//! assert!(report.all_clear(), "{report}");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod policy;
+pub mod validate;
+
+pub use engine::{
+    BlockReason, BufferStats, EndpointBehavior, EndpointStats, FiringRecord, SimConfig, SimOutcome,
+    SimReport, Simulator, TaskStats, TraceLevel, Violation,
+};
+pub use policy::{splitmix64, QuantumPlan, QuantumPolicy, Side};
+pub use validate::{
+    conservative_offset, measure_drift, validate_assigned_capacities, validate_capacities,
+    ScenarioResult, ValidationOptions, ValidationReport,
+};
+
+use std::fmt;
+
+/// Errors raised while constructing a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The task graph is not a valid chain (or another analysis-level
+    /// defect); carries the underlying [`vrdf_core::AnalysisError`].
+    Analysis(vrdf_core::AnalysisError),
+    /// A buffer has no capacity `ζ(b)` assigned; run the analysis and
+    /// [`vrdf_core::ChainAnalysis::apply`] it, or set one explicitly.
+    CapacityUnset {
+        /// The capacity-less buffer.
+        buffer: String,
+    },
+    /// A constant or cyclic policy names a value outside the buffer's
+    /// quantum set — the sequence would not be admissible.
+    QuantumNotInSet {
+        /// The buffer whose set was violated.
+        buffer: String,
+        /// The offending value.
+        value: u64,
+    },
+    /// A cyclic policy with no values.
+    EmptyCycle {
+        /// The buffer the policy was attached to.
+        buffer: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Analysis(e) => write!(f, "invalid chain: {e}"),
+            SimError::CapacityUnset { buffer } => {
+                write!(f, "buffer `{buffer}` has no capacity assigned")
+            }
+            SimError::QuantumNotInSet { buffer, value } => {
+                write!(
+                    f,
+                    "quantum {value} is not in the quantum set of buffer `{buffer}`"
+                )
+            }
+            SimError::EmptyCycle { buffer } => {
+                write!(
+                    f,
+                    "cyclic quantum policy on buffer `{buffer}` has no values"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Analysis(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<vrdf_core::AnalysisError> for SimError {
+    fn from(e: vrdf_core::AnalysisError) -> Self {
+        SimError::Analysis(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_and_source() {
+        let e = SimError::Analysis(vrdf_core::AnalysisError::EmptyGraph);
+        assert!(e.to_string().contains("invalid chain"));
+        assert!(std::error::Error::source(&e).is_some());
+        let e = SimError::CapacityUnset {
+            buffer: "d1".into(),
+        };
+        assert!(e.to_string().contains("d1"));
+        assert!(std::error::Error::source(&e).is_none());
+        let e: SimError = vrdf_core::AnalysisError::EmptyGraph.into();
+        assert!(matches!(e, SimError::Analysis(_)));
+    }
+}

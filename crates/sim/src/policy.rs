@@ -1,0 +1,265 @@
+//! Quantum sequences: how the simulator picks a transfer quantum for each
+//! firing.
+//!
+//! The analysis guarantees sufficiency for *every* admissible sequence of
+//! quanta drawn from each buffer's [`QuantumSet`]s.  The simulator can
+//! therefore never prove sufficiency, only probe it: a [`QuantumPlan`]
+//! assigns one [`QuantumPolicy`] to every (buffer, side) and the engine
+//! replays the resulting deterministic sequence.  All policies are pure
+//! functions of the firing index, so a run is exactly reproducible — the
+//! seeded random policy included.
+
+use vrdf_core::{QuantumSet, TaskGraph};
+
+use crate::SimError;
+
+/// Which side of a buffer a policy applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Side {
+    /// The producing task's transfer (`ξ(b)` draws).
+    Production,
+    /// The consuming task's transfer (`λ(b)` draws).
+    Consumption,
+}
+
+/// A deterministic rule for drawing one quantum per firing from a
+/// [`QuantumSet`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum QuantumPolicy {
+    /// Always the set's minimum (`π̌` / `γ̌`).
+    Min,
+    /// Always the set's maximum (`π̂` / `γ̂`).
+    Max,
+    /// Always this fixed value; must be a member of the set.
+    Constant(u64),
+    /// Cycle through the given values in order; each must be a member.
+    Cyclic(Vec<u64>),
+    /// A uniformly random member per firing, from a splitmix64 stream
+    /// keyed by `(seed, buffer, side, firing)` — reproducible across runs.
+    Random {
+        /// Stream seed.
+        seed: u64,
+    },
+}
+
+impl QuantumPolicy {
+    /// The quantum for firing `firing` (0-based) of the task on the given
+    /// buffer side.  Pure: same arguments, same answer.
+    pub fn draw(&self, set: &QuantumSet, buffer: usize, side: Side, firing: u64) -> u64 {
+        match self {
+            QuantumPolicy::Min => set.min(),
+            QuantumPolicy::Max => set.max(),
+            QuantumPolicy::Constant(v) => *v,
+            QuantumPolicy::Cyclic(values) => values[(firing % values.len() as u64) as usize],
+            QuantumPolicy::Random { seed } => {
+                let side_bit = match side {
+                    Side::Production => 0u64,
+                    Side::Consumption => 1u64,
+                };
+                let x = splitmix64(
+                    seed ^ (buffer as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        ^ side_bit.wrapping_mul(0xBF58_476D_1CE4_E5B9)
+                        ^ firing.wrapping_mul(0x94D0_49BB_1331_11EB),
+                );
+                let values = set.as_slice();
+                values[(x % values.len() as u64) as usize]
+            }
+        }
+    }
+
+    /// Checks that every value the policy can produce is a member of `set`.
+    fn validate(&self, set: &QuantumSet, buffer_name: &str) -> Result<(), SimError> {
+        let check = |v: u64| {
+            if set.contains(v) {
+                Ok(())
+            } else {
+                Err(SimError::QuantumNotInSet {
+                    buffer: buffer_name.to_owned(),
+                    value: v,
+                })
+            }
+        };
+        match self {
+            QuantumPolicy::Min | QuantumPolicy::Max | QuantumPolicy::Random { .. } => Ok(()),
+            QuantumPolicy::Constant(v) => check(*v),
+            QuantumPolicy::Cyclic(values) => {
+                if values.is_empty() {
+                    return Err(SimError::EmptyCycle {
+                        buffer: buffer_name.to_owned(),
+                    });
+                }
+                values.iter().try_for_each(|&v| check(v))
+            }
+        }
+    }
+}
+
+/// One [`QuantumPolicy`] per (buffer, side) of a task graph.
+///
+/// # Examples
+///
+/// ```
+/// use vrdf_sim::{QuantumPlan, QuantumPolicy, Side};
+///
+/// // Everything at the maximum quantum, except buffer 0's consumer which
+/// // draws randomly.
+/// let plan = QuantumPlan::uniform(QuantumPolicy::Max)
+///     .with(0, Side::Consumption, QuantumPolicy::Random { seed: 7 });
+/// ```
+#[derive(Clone, Debug)]
+pub struct QuantumPlan {
+    default: QuantumPolicy,
+    overrides: Vec<(usize, Side, QuantumPolicy)>,
+}
+
+impl QuantumPlan {
+    /// The same policy on every buffer side.
+    pub fn uniform(policy: QuantumPolicy) -> QuantumPlan {
+        QuantumPlan {
+            default: policy,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Every side draws randomly from its set, from one seed.
+    pub fn random(seed: u64) -> QuantumPlan {
+        QuantumPlan::uniform(QuantumPolicy::Random { seed })
+    }
+
+    /// Overrides the policy for one (buffer, side); `buffer` is the
+    /// buffer's insertion index ([`vrdf_core::BufferId::index`]).
+    #[must_use]
+    pub fn with(mut self, buffer: usize, side: Side, policy: QuantumPolicy) -> QuantumPlan {
+        self.overrides
+            .retain(|(b, s, _)| !(*b == buffer && *s == side));
+        self.overrides.push((buffer, side, policy));
+        self
+    }
+
+    /// The policy in effect for a (buffer, side).
+    pub fn policy(&self, buffer: usize, side: Side) -> &QuantumPolicy {
+        self.overrides
+            .iter()
+            .find(|(b, s, _)| *b == buffer && *s == side)
+            .map(|(_, _, p)| p)
+            .unwrap_or(&self.default)
+    }
+
+    /// Draws the quantum for a firing.
+    pub fn draw(&self, set: &QuantumSet, buffer: usize, side: Side, firing: u64) -> u64 {
+        self.policy(buffer, side).draw(set, buffer, side, firing)
+    }
+
+    /// Checks every policy against the task graph's actual quantum sets.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::QuantumNotInSet`] when a constant or cyclic value is not
+    /// a member of the corresponding set, [`SimError::EmptyCycle`] for an
+    /// empty cyclic policy.
+    pub fn validate(&self, tg: &TaskGraph) -> Result<(), SimError> {
+        for (id, buffer) in tg.buffers() {
+            self.policy(id.index(), Side::Production)
+                .validate(buffer.production(), buffer.name())?;
+            self.policy(id.index(), Side::Consumption)
+                .validate(buffer.consumption(), buffer.name())?;
+        }
+        Ok(())
+    }
+}
+
+/// The splitmix64 mixing function — a tiny, dependency-free, statistically
+/// solid way to turn a key into a pseudo-random word.
+#[inline]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrdf_core::Rational;
+
+    fn set(values: &[u64]) -> QuantumSet {
+        QuantumSet::new(values.iter().copied()).unwrap()
+    }
+
+    #[test]
+    fn min_max_constant() {
+        let s = set(&[2, 5, 9]);
+        assert_eq!(QuantumPolicy::Min.draw(&s, 0, Side::Production, 3), 2);
+        assert_eq!(QuantumPolicy::Max.draw(&s, 0, Side::Production, 3), 9);
+        assert_eq!(
+            QuantumPolicy::Constant(5).draw(&s, 0, Side::Consumption, 0),
+            5
+        );
+    }
+
+    #[test]
+    fn cyclic_wraps() {
+        let s = set(&[1, 2, 3]);
+        let p = QuantumPolicy::Cyclic(vec![1, 3]);
+        let draws: Vec<u64> = (0..5).map(|k| p.draw(&s, 0, Side::Production, k)).collect();
+        assert_eq!(draws, vec![1, 3, 1, 3, 1]);
+    }
+
+    #[test]
+    fn random_is_reproducible_and_in_set() {
+        let s = set(&[0, 2, 7, 11]);
+        let p = QuantumPolicy::Random { seed: 42 };
+        let a: Vec<u64> = (0..100)
+            .map(|k| p.draw(&s, 3, Side::Consumption, k))
+            .collect();
+        let b: Vec<u64> = (0..100)
+            .map(|k| p.draw(&s, 3, Side::Consumption, k))
+            .collect();
+        assert_eq!(a, b);
+        assert!(a.iter().all(|v| s.contains(*v)));
+        // Different sides / buffers give different streams.
+        let c: Vec<u64> = (0..100)
+            .map(|k| p.draw(&s, 3, Side::Production, k))
+            .collect();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn plan_overrides() {
+        let plan = QuantumPlan::uniform(QuantumPolicy::Max)
+            .with(1, Side::Consumption, QuantumPolicy::Min)
+            .with(1, Side::Consumption, QuantumPolicy::Constant(3));
+        assert_eq!(plan.policy(0, Side::Production), &QuantumPolicy::Max);
+        assert_eq!(
+            plan.policy(1, Side::Consumption),
+            &QuantumPolicy::Constant(3)
+        );
+    }
+
+    #[test]
+    fn validate_rejects_non_members() {
+        let tg = TaskGraph::linear_chain(
+            [("a", Rational::ONE), ("b", Rational::ONE)],
+            [("buf", set(&[3]), set(&[2, 3]))],
+        )
+        .unwrap();
+        assert!(QuantumPlan::uniform(QuantumPolicy::Max)
+            .validate(&tg)
+            .is_ok());
+        let bad = QuantumPlan::uniform(QuantumPolicy::Max).with(
+            0,
+            Side::Consumption,
+            QuantumPolicy::Constant(4),
+        );
+        assert!(matches!(
+            bad.validate(&tg),
+            Err(SimError::QuantumNotInSet { value: 4, .. })
+        ));
+        let empty = QuantumPlan::uniform(QuantumPolicy::Cyclic(vec![]));
+        assert!(matches!(
+            empty.validate(&tg),
+            Err(SimError::EmptyCycle { .. })
+        ));
+    }
+}

@@ -1,0 +1,376 @@
+//! Cross-validation of the analysis against simulation — the paper's own
+//! verification method (Section 5), turned into an executable oracle.
+//!
+//! [`validate_capacities`] takes a [`TaskGraph`] and the [`ChainAnalysis`]
+//! that `vrdf-core` computed for it, applies the computed capacities, and
+//! replays a battery of admissible quantum scenarios (all-max, all-min,
+//! min/max cycling, seeded-random) with the throughput-constrained
+//! endpoint forced strictly periodic.  The sufficiency theorem says no
+//! scenario may ever produce a deadline miss or deadlock; a violation in
+//! any scenario is a counterexample to the analysis.
+//!
+//! The periodic offset is chosen *conservatively* from the analysis
+//! ([`conservative_offset`]): by linearity of VRDF, shifting the whole
+//! schedule later is always admissible, so any offset at or above the
+//! minimal one preserves feasibility — while an under-provisioned buffer
+//! makes the endpoint's backlog grow without bound and misses its deadline
+//! at every offset.
+
+use std::fmt;
+
+use vrdf_core::{ChainAnalysis, ConstraintLocation, Rational, TaskGraph, ThroughputConstraint};
+
+use crate::engine::{SimConfig, SimOutcome, SimReport, Simulator, TraceLevel, Violation};
+use crate::policy::{QuantumPlan, QuantumPolicy};
+use crate::SimError;
+
+/// Tunables for [`validate_capacities`].
+#[derive(Clone, Debug)]
+pub struct ValidationOptions {
+    /// Periodic endpoint firings to check per scenario.
+    pub endpoint_firings: u64,
+    /// Number of seeded-random scenarios.
+    pub random_runs: u32,
+    /// Base seed for the random scenarios (run `i` uses `base_seed + i`).
+    pub base_seed: u64,
+    /// Extra slack added to the conservative offset (useful when probing
+    /// borderline capacities by hand).
+    pub extra_offset: Rational,
+    /// Event budget per scenario.
+    pub max_events: u64,
+    /// Stop each scenario at its first violation.
+    pub stop_on_violation: bool,
+}
+
+impl Default for ValidationOptions {
+    fn default() -> Self {
+        ValidationOptions {
+            endpoint_firings: 20_000,
+            random_runs: 4,
+            base_seed: 0xC0FF_EE00,
+            extra_offset: Rational::ZERO,
+            max_events: 50_000_000,
+            stop_on_violation: true,
+        }
+    }
+}
+
+/// The result of replaying one quantum scenario.
+#[derive(Clone, Debug)]
+pub struct ScenarioResult {
+    /// Human-readable scenario name (`"const-max"`, `"random-2"`, …).
+    pub name: String,
+    /// The full simulation report of the scenario.
+    pub report: SimReport,
+}
+
+impl ScenarioResult {
+    /// `true` when the scenario completed with zero violations.
+    pub fn passed(&self) -> bool {
+        self.report.ok()
+    }
+
+    /// The first violation, if any.
+    pub fn first_violation(&self) -> Option<&Violation> {
+        self.report.violations.first()
+    }
+}
+
+/// The verdict of [`validate_capacities`] over all scenarios.
+#[derive(Clone, Debug)]
+pub struct ValidationReport {
+    /// The strictly periodic offset every scenario used.
+    pub offset: Rational,
+    /// One result per scenario.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+impl ValidationReport {
+    /// `true` when every scenario sustained strict periodicity — the
+    /// capacities survived the probe.
+    pub fn all_clear(&self) -> bool {
+        self.scenarios.iter().all(ScenarioResult::passed)
+    }
+
+    /// The scenarios that failed, with their first violation or outcome.
+    pub fn failures(&self) -> impl Iterator<Item = &ScenarioResult> {
+        self.scenarios.iter().filter(|s| !s.passed())
+    }
+}
+
+impl fmt::Display for ValidationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "validation at offset {}: {}/{} scenarios clear",
+            self.offset,
+            self.scenarios.iter().filter(|s| s.passed()).count(),
+            self.scenarios.len()
+        )?;
+        for s in &self.scenarios {
+            match s.first_violation() {
+                None if s.passed() => writeln!(
+                    f,
+                    "  {:<12} ok ({} endpoint firings)",
+                    s.name, s.report.endpoint.firings
+                )?,
+                None => writeln!(f, "  {:<12} FAILED: {:?}", s.name, s.report.outcome)?,
+                Some(v) => writeln!(f, "  {:<12} FAILED: {v}", s.name)?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A strictly periodic offset guaranteed admissible whenever the analysed
+/// capacities are sufficient.
+///
+/// End-to-end, a container spends at most the sum of all response times
+/// executing and at most `ζ(b) · t_b` queued in each buffer `b` draining
+/// at its bound rate, so releasing the endpoint one period after that
+/// total can always be met.  By VRDF linearity (Definition 2 of the
+/// paper), feasibility at some offset implies feasibility at every larger
+/// one, so overshooting the minimal offset is safe — it can never turn a
+/// sufficient capacity assignment into a missing one.
+pub fn conservative_offset(tg: &TaskGraph, analysis: &ChainAnalysis) -> Rational {
+    let constraint = analysis.constraint();
+    if constraint.location() == ConstraintLocation::Source {
+        // The source only needs empty containers and every buffer starts
+        // empty: it can be released immediately.
+        return Rational::ZERO;
+    }
+    let mut offset = constraint.period();
+    for (_, task) in tg.tasks() {
+        offset += task.response_time();
+    }
+    for capacity in analysis.capacities() {
+        offset += Rational::from(capacity.capacity) * capacity.token_period;
+    }
+    offset
+}
+
+/// The scenario battery: worst-case corners, a min/max cycle, and seeded
+/// random draws.
+fn scenario_plans(tg: &TaskGraph, opts: &ValidationOptions) -> Vec<(String, QuantumPlan)> {
+    use crate::policy::Side;
+    let mut cycle = QuantumPlan::uniform(QuantumPolicy::Max);
+    for (id, buffer) in tg.buffers() {
+        cycle = cycle
+            .with(
+                id.index(),
+                Side::Production,
+                QuantumPolicy::Cyclic(vec![buffer.production().max(), buffer.production().min()]),
+            )
+            .with(
+                id.index(),
+                Side::Consumption,
+                QuantumPolicy::Cyclic(vec![buffer.consumption().min(), buffer.consumption().max()]),
+            );
+    }
+    let mut plans = vec![
+        (
+            "const-max".to_owned(),
+            QuantumPlan::uniform(QuantumPolicy::Max),
+        ),
+        (
+            "const-min".to_owned(),
+            QuantumPlan::uniform(QuantumPolicy::Min),
+        ),
+        ("cycle-minmax".to_owned(), cycle),
+    ];
+    for i in 0..opts.random_runs {
+        plans.push((
+            format!("random-{i}"),
+            QuantumPlan::random(opts.base_seed + i as u64),
+        ));
+    }
+    plans
+}
+
+/// Replays the computed capacities against a battery of admissible quantum
+/// scenarios with the constrained endpoint forced strictly periodic, and
+/// reports whether the throughput constraint survived every one.
+///
+/// The graph's capacities `ζ(b)` are overwritten with the analysis'
+/// results on a clone — the input graph is untouched.  Use
+/// [`validate_assigned_capacities`] to probe whatever capacities a graph
+/// already carries (e.g. deliberately under-provisioned ones).
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from simulator construction; scenario
+/// violations are reported in the [`ValidationReport`], not as errors.
+///
+/// # Examples
+///
+/// ```
+/// use vrdf_core::{compute_buffer_capacities, QuantumSet, Rational, TaskGraph,
+///     ThroughputConstraint};
+/// use vrdf_sim::{validate_capacities, ValidationOptions};
+///
+/// let tg = TaskGraph::linear_chain(
+///     [("wa", Rational::ONE), ("wb", Rational::ONE)],
+///     [("b", QuantumSet::constant(3), QuantumSet::new([2, 3])?)],
+/// )?;
+/// let constraint = ThroughputConstraint::on_sink(Rational::from(3u64))?;
+/// let analysis = compute_buffer_capacities(&tg, constraint)?;
+/// let mut opts = ValidationOptions::default();
+/// opts.endpoint_firings = 500;
+/// let report = validate_capacities(&tg, &analysis, &opts)?;
+/// assert!(report.all_clear(), "{report}");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn validate_capacities(
+    tg: &TaskGraph,
+    analysis: &ChainAnalysis,
+    opts: &ValidationOptions,
+) -> Result<ValidationReport, SimError> {
+    let mut sized = tg.clone();
+    analysis.apply(&mut sized);
+    let offset = conservative_offset(tg, analysis) + opts.extra_offset;
+    validate_graph(
+        &sized,
+        analysis.constraint(),
+        offset,
+        analysis.options().release,
+        opts,
+    )
+}
+
+/// Like [`validate_capacities`], but replays the capacities already
+/// assigned on the graph (`ζ(b)`), with an explicit offset and release
+/// convention.  This is the tool for falsification experiments: assign
+/// `capacity − 1` on an edge and watch the deadline miss appear.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from simulator construction (including unset
+/// capacities).
+pub fn validate_assigned_capacities(
+    tg: &TaskGraph,
+    constraint: ThroughputConstraint,
+    offset: Rational,
+    release: vrdf_core::ConstrainedRelease,
+    opts: &ValidationOptions,
+) -> Result<ValidationReport, SimError> {
+    validate_graph(tg, constraint, offset, release, opts)
+}
+
+fn validate_graph(
+    tg: &TaskGraph,
+    constraint: ThroughputConstraint,
+    offset: Rational,
+    release: vrdf_core::ConstrainedRelease,
+    opts: &ValidationOptions,
+) -> Result<ValidationReport, SimError> {
+    let mut scenarios = Vec::new();
+    for (name, plan) in scenario_plans(tg, opts) {
+        let mut config = SimConfig::periodic(constraint, offset);
+        config.release = release;
+        config.max_endpoint_firings = opts.endpoint_firings;
+        config.max_events = opts.max_events;
+        config.stop_on_violation = opts.stop_on_violation;
+        config.trace = TraceLevel::None;
+        let report = Simulator::new(tg, plan, config)?.run();
+        debug_assert!(report.buffers.iter().all(|b| b.max_occupancy <= b.capacity));
+        scenarios.push(ScenarioResult { name, report });
+    }
+    Ok(ValidationReport { offset, scenarios })
+}
+
+/// Measures the endpoint's self-timed drift `max_k (s_k − k·τ)`: the
+/// smallest strictly periodic offset consistent with one self-timed run of
+/// the given scenario.  Useful for characterising how conservative
+/// [`conservative_offset`] is.
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from simulator construction.
+pub fn measure_drift(
+    tg: &TaskGraph,
+    constraint: ThroughputConstraint,
+    plan: QuantumPlan,
+    endpoint_firings: u64,
+) -> Result<Option<Rational>, SimError> {
+    let mut config = SimConfig::self_timed(constraint);
+    config.max_endpoint_firings = endpoint_firings;
+    let report = Simulator::new(tg, plan, config)?.run();
+    match report.outcome {
+        SimOutcome::Completed | SimOutcome::HorizonReached => Ok(report.endpoint.max_drift),
+        _ => Ok(None),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vrdf_core::{compute_buffer_capacities, rat, QuantumSet};
+
+    fn pair_graph() -> (TaskGraph, ThroughputConstraint) {
+        let tg = TaskGraph::linear_chain(
+            [("wa", rat(1, 1)), ("wb", rat(1, 1))],
+            [(
+                "b",
+                QuantumSet::constant(3),
+                QuantumSet::new([2, 3]).unwrap(),
+            )],
+        )
+        .unwrap();
+        (tg, ThroughputConstraint::on_sink(rat(3, 1)).unwrap())
+    }
+
+    #[test]
+    fn computed_capacities_validate_clean() {
+        let (tg, constraint) = pair_graph();
+        let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
+        let opts = ValidationOptions {
+            endpoint_firings: 300,
+            ..ValidationOptions::default()
+        };
+        let report = validate_capacities(&tg, &analysis, &opts).unwrap();
+        assert!(report.all_clear(), "{report}");
+        assert_eq!(report.scenarios.len(), 3 + opts.random_runs as usize);
+        assert_eq!(report.failures().count(), 0);
+        // The display summary renders.
+        assert!(report.to_string().contains("scenarios clear"));
+    }
+
+    #[test]
+    fn conservative_offset_covers_measured_drift() {
+        let (tg, constraint) = pair_graph();
+        let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
+        let offset = conservative_offset(&tg, &analysis);
+        let mut sized = tg.clone();
+        analysis.apply(&mut sized);
+        let drift = measure_drift(
+            &sized,
+            constraint,
+            QuantumPlan::uniform(QuantumPolicy::Max),
+            200,
+        )
+        .unwrap()
+        .expect("self-timed run completes");
+        assert!(
+            offset >= drift,
+            "conservative offset {offset} below measured drift {drift}"
+        );
+    }
+
+    #[test]
+    fn source_constrained_offset_is_zero() {
+        let tg = TaskGraph::linear_chain(
+            [("src", rat(1, 10)), ("snk", rat(1, 40))],
+            [("b", QuantumSet::constant(4), QuantumSet::constant(2))],
+        )
+        .unwrap();
+        let constraint = ThroughputConstraint::on_source(rat(2, 5)).unwrap();
+        let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
+        assert_eq!(conservative_offset(&tg, &analysis), Rational::ZERO);
+        let opts = ValidationOptions {
+            endpoint_firings: 300,
+            ..ValidationOptions::default()
+        };
+        let report = validate_capacities(&tg, &analysis, &opts).unwrap();
+        assert!(report.all_clear(), "{report}");
+    }
+}
