@@ -174,13 +174,54 @@ pub mod synthetic {
         );
         let mut rng = Rng::new(seed);
         let n = rng.range(spec.min_tasks as u64, spec.max_tasks as u64) as usize;
+        chain_of_length(&mut rng, n, spec)
+    }
 
+    /// Like [`random_chain`] but with an exact task count `len` — the
+    /// knob the chain-scaling benchmarks sweep.  Deterministic in
+    /// `(seed, len)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from [`TaskGraph`]; with a sane
+    /// [`ChainSpec`] this does not happen.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `len < 2` or on a degenerate [`ChainSpec`]
+    /// (`max_quantum == 0` or `max_set_len == 0`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vrdf_apps::synthetic::{random_chain_of_length, ChainSpec};
+    ///
+    /// let (tg, _) = random_chain_of_length(7, 16, &ChainSpec::default()).unwrap();
+    /// assert_eq!(tg.task_count(), 16);
+    /// ```
+    pub fn random_chain_of_length(
+        seed: u64,
+        len: usize,
+        spec: &ChainSpec,
+    ) -> Result<(TaskGraph, ThroughputConstraint), AnalysisError> {
+        assert!(
+            len >= 2 && spec.max_quantum >= 1 && spec.max_set_len >= 1,
+            "degenerate request: need len >= 2, max_quantum >= 1, max_set_len >= 1"
+        );
+        chain_of_length(&mut Rng::new(seed), len, spec)
+    }
+
+    fn chain_of_length(
+        rng: &mut Rng,
+        n: usize,
+        spec: &ChainSpec,
+    ) -> Result<(TaskGraph, ThroughputConstraint), AnalysisError> {
         // Draw the quanta; production sets must not contain 0 in
         // sink-constrained mode.
         let mut buffers = Vec::with_capacity(n - 1);
         for i in 0..n - 1 {
-            let production = random_set(&mut rng, spec, false);
-            let consumption = random_set(&mut rng, spec, spec.allow_zero_consumption);
+            let production = random_set(rng, spec, false);
+            let consumption = random_set(rng, spec, spec.allow_zero_consumption);
             buffers.push((format!("b{i}"), production, consumption));
         }
         let tau = Rational::new(rng.range(1, 12) as i128, rng.range(1, 4) as i128);
@@ -201,6 +242,54 @@ pub mod synthetic {
         }
         let tg = build(n, &buffers, |i| phis[i] * fracs[i])?;
         Ok((tg, constraint))
+    }
+
+    /// Rounds every response time *down* to a multiple of `grid` and
+    /// returns the rebuilt chain (names, quanta, and capacities
+    /// preserved).
+    ///
+    /// Random chains accumulate denominators multiplicatively along the
+    /// `φ` propagation, which can push the tick clock's denominator LCM
+    /// past what `vrdf_sim`'s integer rescaling accepts
+    /// ([`vrdf_sim` rejects it gracefully]).  Snapping response times to
+    /// one shared grid bounds the LCM by `den(grid)` regardless of chain
+    /// length.  Rounding down can only shorten response times, so a
+    /// feasible chain stays feasible.
+    ///
+    /// [`vrdf_sim` rejects it gracefully]: https://docs.rs/vrdf-sim
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from [`TaskGraph`] (none for a
+    /// graph that was itself valid).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `grid` is not strictly positive.
+    pub fn quantize_response_times(
+        tg: &TaskGraph,
+        grid: Rational,
+    ) -> Result<TaskGraph, AnalysisError> {
+        assert!(grid.is_positive(), "grid must be strictly positive");
+        let mut out = TaskGraph::new();
+        let mut ids = Vec::with_capacity(tg.task_count());
+        for (_, task) in tg.tasks() {
+            let steps = (task.response_time() / grid).floor();
+            ids.push(out.add_task(task.name(), grid * Rational::from(steps))?);
+        }
+        for (_, buffer) in tg.buffers() {
+            let id = out.connect(
+                buffer.name(),
+                ids[buffer.producer().index()],
+                ids[buffer.consumer().index()],
+                buffer.production().clone(),
+                buffer.consumption().clone(),
+            )?;
+            if let Some(capacity) = buffer.capacity() {
+                out.set_capacity(id, capacity);
+            }
+        }
+        Ok(out)
     }
 
     fn build(
@@ -262,6 +351,37 @@ mod tests {
                 analysis.err()
             );
         }
+    }
+
+    #[test]
+    fn fixed_length_chains_have_exact_length_and_are_feasible() {
+        let spec = synthetic::ChainSpec::default();
+        for len in [2, 5, 16, 33] {
+            let (tg, constraint) = synthetic::random_chain_of_length(9, len, &spec).unwrap();
+            assert_eq!(tg.task_count(), len);
+            assert!(compute_buffer_capacities(&tg, constraint).is_ok());
+        }
+    }
+
+    #[test]
+    fn quantized_long_chains_stay_feasible_on_a_small_clock() {
+        let spec = synthetic::ChainSpec::default();
+        let (tg, constraint) = synthetic::random_chain_of_length(42, 64, &spec).unwrap();
+        let grid = constraint.period() / Rational::from(1024u64);
+        let quantized = synthetic::quantize_response_times(&tg, grid).unwrap();
+        assert_eq!(quantized.task_count(), tg.task_count());
+        // Rounding down never grows a response time.
+        for ((_, q), (_, orig)) in quantized.tasks().zip(tg.tasks()) {
+            assert!(q.response_time() <= orig.response_time());
+        }
+        // The quantized chain is analysable, and its denominators now
+        // share the one grid.
+        assert!(compute_buffer_capacities(&quantized, constraint).is_ok());
+        let mut lcm: i128 = 1;
+        for (_, task) in quantized.tasks() {
+            lcm = task.response_time().lcm_den(lcm).unwrap();
+        }
+        assert!(lcm <= grid.denom());
     }
 
     #[test]

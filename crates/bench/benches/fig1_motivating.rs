@@ -1,1 +1,90 @@
-fn main() {}
+//! The Fig. 1 motivating producer–consumer pair: analysis cost and
+//! simulation throughput at the computed capacity, tick engine vs the
+//! rational reference.
+//!
+//! ```console
+//! $ cargo bench -p vrdf-bench --bench fig1_motivating
+//! ```
+
+use vrdf_apps::fig1_pair;
+use vrdf_bench::{emit, time_per_iteration, BenchOpts};
+use vrdf_core::{compute_buffer_capacities, Rational, ThroughputConstraint};
+use vrdf_sim::{
+    conservative_offset, QuantumPlan, QuantumPolicy, ReferenceSimulator, SimConfig, Simulator,
+};
+
+fn main() {
+    let opts = BenchOpts::from_args(3, 20);
+    let tg = fig1_pair();
+    let constraint = ThroughputConstraint::on_sink(Rational::from(3u64)).expect("positive period");
+    let analysis = compute_buffer_capacities(&tg, constraint).expect("pair is feasible");
+    let offset = conservative_offset(&tg, &analysis);
+    let mut sized = tg.clone();
+    analysis.apply(&mut sized);
+    let firings = opts.scale(20_000, 200);
+    let batch = opts.scale(100, 1);
+
+    let analysis_m = time_per_iteration(opts.warmup, opts.iterations, || {
+        for _ in 0..batch {
+            let a = compute_buffer_capacities(&tg, constraint).expect("feasible");
+            std::hint::black_box(a.capacities()[0].capacity);
+        }
+    });
+    emit(
+        "fig1_motivating",
+        "analysis",
+        &analysis_m,
+        &[(
+            "analyses_per_sec",
+            batch as f64 / analysis_m.median().as_secs_f64(),
+        )],
+    );
+
+    let mut config = SimConfig::periodic(constraint, offset);
+    config.max_endpoint_firings = firings;
+    // Consumption alternates 2/3 so both quanta of the variable set are
+    // exercised, not just a corner.
+    let plan = || {
+        QuantumPlan::uniform(QuantumPolicy::Max).with(
+            0,
+            vrdf_sim::Side::Consumption,
+            QuantumPolicy::Cyclic(vec![2, 3]),
+        )
+    };
+    let probe = Simulator::new(&sized, plan(), config.clone())
+        .expect("construction succeeds")
+        .run();
+    assert!(probe.ok(), "{:?}", probe.outcome);
+    let events = probe.events_processed as f64;
+
+    let tick = time_per_iteration(opts.warmup, opts.iterations, || {
+        let report = Simulator::new(&sized, plan(), config.clone())
+            .expect("construction succeeds")
+            .run();
+        std::hint::black_box(report.events_processed);
+    });
+    let reference = time_per_iteration(opts.warmup, opts.iterations, || {
+        let report = ReferenceSimulator::new(&sized, plan(), config.clone())
+            .expect("construction succeeds")
+            .run();
+        std::hint::black_box(report.events_processed);
+    });
+    let tick_eps = events / tick.median().as_secs_f64();
+    let reference_eps = events / reference.median().as_secs_f64();
+    emit(
+        "fig1_motivating",
+        "sim-tick",
+        &tick,
+        &[
+            ("events", events),
+            ("events_per_sec", tick_eps),
+            ("speedup_vs_reference", tick_eps / reference_eps),
+        ],
+    );
+    emit(
+        "fig1_motivating",
+        "sim-reference",
+        &reference,
+        &[("events", events), ("events_per_sec", reference_eps)],
+    );
+}

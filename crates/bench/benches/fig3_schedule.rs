@@ -1,1 +1,60 @@
-fn main() {}
+//! Existence-schedule construction (Fig. 3): cost of building the
+//! consumer-side witness schedule and checking it against its linear
+//! bound, per firing.
+//!
+//! ```console
+//! $ cargo bench -p vrdf-bench --bench fig3_schedule
+//! ```
+
+use vrdf_bench::{emit, time_per_iteration, BenchOpts};
+use vrdf_core::{ExistenceSchedule, PairGaps, Rational};
+
+fn main() {
+    let opts = BenchOpts::from_args(3, 20);
+    let firings = opts.scale(10_000, 100) as usize;
+
+    // The Fig. 1 pair's reverse-edge bounds: token period τ/γ̂ = 1,
+    // response times 1, quanta up to 3.
+    let gaps = PairGaps::new(Rational::ONE, Rational::ONE, Rational::ONE, 3, 3);
+    let bounds = gaps.data_edge_bounds();
+    // Alternating quanta exercise the variable-rate path of the witness.
+    let quanta: Vec<u64> = (0..firings)
+        .map(|i| if i % 2 == 0 { 3 } else { 2 })
+        .collect();
+
+    let consumer = time_per_iteration(opts.warmup, opts.iterations, || {
+        let schedule = ExistenceSchedule::consumer(&quanta, bounds, Rational::ONE);
+        assert!(schedule.consumptions_respect(bounds.consumption));
+        std::hint::black_box(schedule.events().len());
+    });
+    emit(
+        "fig3_schedule",
+        "consumer-witness",
+        &consumer,
+        &[
+            ("firings", firings as f64),
+            (
+                "firings_per_sec",
+                firings as f64 / consumer.median().as_secs_f64(),
+            ),
+        ],
+    );
+
+    let producer = time_per_iteration(opts.warmup, opts.iterations, || {
+        let schedule = ExistenceSchedule::producer(&quanta, bounds, Rational::ONE);
+        assert!(schedule.productions_respect(bounds.production));
+        std::hint::black_box(schedule.events().len());
+    });
+    emit(
+        "fig3_schedule",
+        "producer-witness",
+        &producer,
+        &[
+            ("firings", firings as f64),
+            (
+                "firings_per_sec",
+                firings as f64 / producer.median().as_secs_f64(),
+            ),
+        ],
+    );
+}

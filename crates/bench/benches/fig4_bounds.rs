@@ -1,1 +1,42 @@
-fn main() {}
+//! Eq. (1)–(4) arithmetic throughput (Fig. 4): pair-gap and
+//! initial-token computation swept over a grid of maximum quanta and
+//! token periods — the exact-rational inner arithmetic of the analysis.
+//!
+//! ```console
+//! $ cargo bench -p vrdf-bench --bench fig4_bounds
+//! ```
+
+use vrdf_bench::{emit, time_per_iteration, BenchOpts};
+use vrdf_core::{PairGaps, Rational};
+
+fn main() {
+    let opts = BenchOpts::from_args(3, 20);
+    let grid = opts.scale(64, 8);
+
+    let pairs = grid * grid;
+    let m = time_per_iteration(opts.warmup, opts.iterations, || {
+        let mut total: u64 = 0;
+        for pi in 1..=grid {
+            for gamma in 1..=grid {
+                let gaps = PairGaps::new(
+                    Rational::new(1, 441),
+                    Rational::new(512, 10_000),
+                    Rational::new(24, 1_000),
+                    pi,
+                    gamma,
+                );
+                total = total.wrapping_add(gaps.sufficient_initial_tokens());
+            }
+        }
+        std::hint::black_box(total);
+    });
+    emit(
+        "fig4_bounds",
+        "pair-gap-grid",
+        &m,
+        &[
+            ("pairs", pairs as f64),
+            ("pairs_per_sec", pairs as f64 / m.median().as_secs_f64()),
+        ],
+    );
+}

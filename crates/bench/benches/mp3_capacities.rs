@@ -1,1 +1,85 @@
-fn main() {}
+//! Analysis throughput on the Section 5 MP3 case study: the full Eq. 4
+//! chain analysis, the producer–consumer pair shortcut, and the
+//! constant-max (SDF) baseline.
+//!
+//! ```console
+//! $ cargo bench -p vrdf-bench --bench mp3_capacities
+//! ```
+
+use vrdf_apps::{mp3_chain, mp3_constraint, MP3_PUBLISHED_CAPACITIES};
+use vrdf_bench::{emit, time_per_iteration, BenchOpts};
+use vrdf_core::{compute_buffer_capacities, pair_capacity, QuantumSet, Rational};
+
+fn main() {
+    let opts = BenchOpts::from_args(5, 50);
+    let tg = mp3_chain();
+    let constraint = mp3_constraint();
+    // Batch several analyses per sample so a sample is comfortably above
+    // timer resolution.
+    let batch = opts.scale(100, 1);
+
+    let full = time_per_iteration(opts.warmup, opts.iterations, || {
+        for _ in 0..batch {
+            let analysis =
+                compute_buffer_capacities(&tg, constraint).expect("MP3 chain is feasible");
+            std::hint::black_box(analysis.capacities().len());
+        }
+    });
+    // Sanity: the numbers under measurement are the published ones.
+    let caps: Vec<u64> = compute_buffer_capacities(&tg, constraint)
+        .expect("MP3 chain is feasible")
+        .capacities()
+        .iter()
+        .map(|c| c.capacity)
+        .collect();
+    assert_eq!(caps, MP3_PUBLISHED_CAPACITIES);
+    emit(
+        "mp3_capacities",
+        "chain-analysis",
+        &full,
+        &[(
+            "analyses_per_sec",
+            batch as f64 / full.median().as_secs_f64(),
+        )],
+    );
+
+    let shortcut = time_per_iteration(opts.warmup, opts.iterations, || {
+        for _ in 0..batch {
+            let cap = pair_capacity(
+                QuantumSet::constant(3),
+                QuantumSet::new([2, 3]).expect("non-empty"),
+                Rational::ONE,
+                Rational::ONE,
+                Rational::from(3u64),
+            )
+            .expect("pair is feasible");
+            std::hint::black_box(cap.capacity);
+        }
+    });
+    emit(
+        "mp3_capacities",
+        "pair-shortcut",
+        &shortcut,
+        &[(
+            "analyses_per_sec",
+            batch as f64 / shortcut.median().as_secs_f64(),
+        )],
+    );
+
+    let sdf = time_per_iteration(opts.warmup, opts.iterations, || {
+        for _ in 0..batch {
+            let analysis = vrdf_sdf::constant_max_capacities(&tg, constraint)
+                .expect("constant-max abstraction is feasible");
+            std::hint::black_box(analysis.capacities().len());
+        }
+    });
+    emit(
+        "mp3_capacities",
+        "sdf-baseline",
+        &sdf,
+        &[(
+            "analyses_per_sec",
+            batch as f64 / sdf.median().as_secs_f64(),
+        )],
+    );
+}

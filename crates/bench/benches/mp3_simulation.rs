@@ -1,1 +1,88 @@
-fn main() {}
+//! Simulation events/sec on the MP3 chain: the integer tick-time engine
+//! against the exact-`Rational` reference executor (the pre-rescale
+//! baseline), in both self-timed and strictly periodic modes.
+//!
+//! The two engines replay identical event sequences
+//! (`tests/differential.rs` proves it), so the `speedup_vs_reference`
+//! field is a pure measurement of the tick-clock rescaling: rational gcd
+//! arithmetic per heap compare and time add versus machine-integer ops.
+//!
+//! ```console
+//! $ cargo bench -p vrdf-bench --bench mp3_simulation
+//! ```
+
+use vrdf_apps::{mp3_chain, mp3_constraint};
+use vrdf_bench::{emit, time_per_iteration, BenchOpts};
+use vrdf_core::compute_buffer_capacities;
+use vrdf_sim::{
+    conservative_offset, QuantumPlan, QuantumPolicy, ReferenceSimulator, SimConfig, Simulator,
+};
+
+fn main() {
+    let opts = BenchOpts::from_args(3, 15);
+    let tg = mp3_chain();
+    let constraint = mp3_constraint();
+    let analysis = compute_buffer_capacities(&tg, constraint).expect("MP3 chain is feasible");
+    let offset = conservative_offset(&tg, &analysis);
+    let mut sized = tg.clone();
+    analysis.apply(&mut sized);
+    // One second of audio (44 100 DAC firings) per iteration; 1/100th
+    // under --smoke.
+    let firings = opts.scale(44_100, 441);
+    let plan = || QuantumPlan::uniform(QuantumPolicy::Max);
+
+    let configs = [
+        ("self-timed", {
+            let mut c = SimConfig::self_timed(constraint);
+            c.max_endpoint_firings = firings;
+            c
+        }),
+        ("periodic", {
+            let mut c = SimConfig::periodic(constraint, offset);
+            c.max_endpoint_firings = firings;
+            c
+        }),
+    ];
+
+    for (mode, config) in configs {
+        // The run is deterministic, so one untimed run yields the exact
+        // event count every timed iteration processes.
+        let probe = Simulator::new(&sized, plan(), config.clone())
+            .expect("construction succeeds")
+            .run();
+        assert!(probe.ok(), "{mode}: {:?}", probe.outcome);
+        let events = probe.events_processed as f64;
+
+        let tick = time_per_iteration(opts.warmup, opts.iterations, || {
+            let report = Simulator::new(&sized, plan(), config.clone())
+                .expect("construction succeeds")
+                .run();
+            std::hint::black_box(report.events_processed);
+        });
+        let reference = time_per_iteration(opts.warmup, opts.iterations, || {
+            let report = ReferenceSimulator::new(&sized, plan(), config.clone())
+                .expect("construction succeeds")
+                .run();
+            std::hint::black_box(report.events_processed);
+        });
+
+        let tick_eps = events / tick.median().as_secs_f64();
+        let reference_eps = events / reference.median().as_secs_f64();
+        emit(
+            "mp3_simulation",
+            &format!("tick-{mode}"),
+            &tick,
+            &[
+                ("events", events),
+                ("events_per_sec", tick_eps),
+                ("speedup_vs_reference", tick_eps / reference_eps),
+            ],
+        );
+        emit(
+            "mp3_simulation",
+            &format!("reference-{mode}"),
+            &reference,
+            &[("events", events), ("events_per_sec", reference_eps)],
+        );
+    }
+}

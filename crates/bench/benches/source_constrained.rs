@@ -1,1 +1,74 @@
-fn main() {}
+//! The source-constrained direction: analysis plus the full validation
+//! battery on a chain whose *source* is strictly periodic (the paper's
+//! constraint can sit on either endpoint).
+//!
+//! ```console
+//! $ cargo bench -p vrdf-bench --bench source_constrained
+//! ```
+
+use vrdf_bench::{emit, time_per_iteration, BenchOpts};
+use vrdf_core::{compute_buffer_capacities, QuantumSet, Rational, TaskGraph, ThroughputConstraint};
+use vrdf_sim::{validate_capacities, ValidationOptions};
+
+fn main() {
+    let opts = BenchOpts::from_args(3, 10);
+    let tg = TaskGraph::linear_chain(
+        [
+            ("src", Rational::new(1, 10)),
+            ("mid", Rational::new(1, 20)),
+            ("snk", Rational::new(1, 40)),
+        ],
+        [
+            (
+                "b0",
+                QuantumSet::constant(4),
+                QuantumSet::new([1, 2]).expect("non-empty"),
+            ),
+            (
+                "b1",
+                QuantumSet::new([2, 3]).expect("non-empty"),
+                QuantumSet::constant(2),
+            ),
+        ],
+    )
+    .expect("valid chain");
+    let constraint = ThroughputConstraint::on_source(Rational::new(2, 5)).expect("positive");
+    let analysis = compute_buffer_capacities(&tg, constraint).expect("feasible");
+
+    let batch = opts.scale(100, 1);
+    let analysis_m = time_per_iteration(opts.warmup, opts.iterations, || {
+        for _ in 0..batch {
+            let a = compute_buffer_capacities(&tg, constraint).expect("feasible");
+            std::hint::black_box(a.capacities().len());
+        }
+    });
+    emit(
+        "source_constrained",
+        "analysis",
+        &analysis_m,
+        &[(
+            "analyses_per_sec",
+            batch as f64 / analysis_m.median().as_secs_f64(),
+        )],
+    );
+
+    let vopts = ValidationOptions {
+        endpoint_firings: opts.scale(5_000, 100),
+        random_runs: 4,
+        ..ValidationOptions::default()
+    };
+    let probe = validate_capacities(&tg, &analysis, &vopts).expect("construction succeeds");
+    assert!(probe.all_clear(), "{probe}");
+    let scenarios = probe.scenarios.len() as f64;
+    let validate_m = time_per_iteration(opts.warmup, opts.iterations, || {
+        let report = validate_capacities(&tg, &analysis, &vopts).expect("construction succeeds");
+        assert!(report.all_clear(), "{report}");
+        std::hint::black_box(report.scenarios.len());
+    });
+    emit(
+        "source_constrained",
+        "validate-battery",
+        &validate_m,
+        &[("scenarios", scenarios)],
+    );
+}

@@ -1,1 +1,62 @@
-fn main() {}
+//! The validation battery under quantum variation on the MP3 chain, and
+//! the parallel scenario runner's wall-clock win: the same battery at 1
+//! worker thread and at the machine's available parallelism.
+//!
+//! The verdict is identical at every thread count (enforced in
+//! `vrdf-sim`'s tests); only the wall clock may differ.
+//!
+//! ```console
+//! $ cargo bench -p vrdf-bench --bench variation_sweep
+//! ```
+
+use vrdf_apps::{mp3_chain, mp3_constraint};
+use vrdf_bench::{emit, time_per_iteration, BenchOpts};
+use vrdf_core::compute_buffer_capacities;
+use vrdf_sim::{validate_capacities, ValidationOptions};
+
+fn main() {
+    let opts = BenchOpts::from_args(1, 7);
+    let tg = mp3_chain();
+    let constraint = mp3_constraint();
+    let analysis = compute_buffer_capacities(&tg, constraint).expect("MP3 chain is feasible");
+
+    let vopts = |threads| ValidationOptions {
+        // A battery chunky enough that per-scenario work dwarfs thread
+        // spawn overhead on multi-core machines.
+        endpoint_firings: opts.scale(20_000, 100),
+        random_runs: 5,
+        threads,
+        ..ValidationOptions::default()
+    };
+    let probe = validate_capacities(&tg, &analysis, &vopts(1)).expect("construction succeeds");
+    assert!(probe.all_clear(), "{probe}");
+    let scenarios = probe.scenarios.len() as f64;
+    let parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
+    // Always exercise the threaded path, even on a single-core box where
+    // it can only break even; on multi-core machines the wall-clock win
+    // shows against the threads-1 row.
+    let mut counts = vec![1, 2, parallelism];
+    counts.sort_unstable();
+    counts.dedup();
+
+    let mut medians = Vec::new();
+    for threads in counts {
+        let o = vopts(threads);
+        let m = time_per_iteration(opts.warmup, opts.iterations, || {
+            let report = validate_capacities(&tg, &analysis, &o).expect("construction succeeds");
+            assert!(report.all_clear(), "{report}");
+            std::hint::black_box(report.scenarios.len());
+        });
+        medians.push(m.median().as_secs_f64());
+        emit(
+            "variation_sweep",
+            &format!("validate-threads-{threads}"),
+            &m,
+            &[
+                ("threads", threads as f64),
+                ("scenarios", scenarios),
+                ("speedup_vs_single", medians[0] / m.median().as_secs_f64()),
+            ],
+        );
+    }
+}

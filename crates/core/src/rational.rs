@@ -248,6 +248,68 @@ impl Rational {
         }
     }
 
+    /// Least common multiple of this value's denominator and `den`;
+    /// `None` on `i128` overflow.
+    ///
+    /// Folding this over a set of rationals yields a common tick
+    /// denominator under which every one of them becomes an exact
+    /// integer — the rescaling that lets a hot loop trade rational
+    /// arithmetic for machine-integer adds (see [`Rational::to_ticks`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vrdf_core::rat;
+    /// assert_eq!(rat(1, 6).lcm_den(4), Some(12));
+    /// assert_eq!(rat(5, 1).lcm_den(7), Some(7));
+    /// ```
+    #[inline]
+    pub fn lcm_den(&self, den: i128) -> Option<i128> {
+        debug_assert!(den > 0);
+        let g = gcd_i128(self.den, den).max(1);
+        (self.den / g).checked_mul(den)
+    }
+
+    /// This value expressed in integer ticks of `1 / tick_den`.
+    ///
+    /// Returns `None` when the conversion is not exact (the canonical
+    /// denominator does not divide `tick_den`) or when the tick count
+    /// overflows `i128`.  Build `tick_den` by folding [`Rational::lcm_den`]
+    /// over every value that must share the clock.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vrdf_core::rat;
+    /// assert_eq!(rat(3, 4).to_ticks(12), Some(9));
+    /// assert_eq!(rat(1, 5).to_ticks(12), None); // not exact
+    /// ```
+    #[inline]
+    pub fn to_ticks(&self, tick_den: i128) -> Option<i128> {
+        if tick_den <= 0 || tick_den % self.den != 0 {
+            return None;
+        }
+        self.num.checked_mul(tick_den / self.den)
+    }
+
+    /// The rational value of `ticks` ticks of `1 / tick_den` — the inverse
+    /// of [`Rational::to_ticks`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tick_den == 0`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vrdf_core::{rat, Rational};
+    /// assert_eq!(Rational::from_ticks(9, 12), rat(3, 4));
+    /// ```
+    #[inline]
+    pub fn from_ticks(ticks: i128, tick_den: i128) -> Rational {
+        Rational::new(ticks, tick_den)
+    }
+
     /// Lossy conversion to `f64`, for display and plotting only.
     ///
     /// Analysis code must never branch on this value; use the exact
@@ -626,6 +688,35 @@ mod tests {
     fn sum_iterator() {
         let total: Rational = [rat(1, 2), rat(1, 3), rat(1, 6)].into_iter().sum();
         assert_eq!(total, Rational::ONE);
+    }
+
+    #[test]
+    fn tick_rescaling_round_trips() {
+        // Fold lcm_den over a mixed set of denominators.
+        let values = [rat(1, 44100), rat(256, 5), rat(24, 1000), rat(3, 1)];
+        let tick_den = values
+            .iter()
+            .try_fold(1i128, |acc, v| v.lcm_den(acc))
+            .unwrap();
+        assert_eq!(tick_den % 44100, 0);
+        assert_eq!(tick_den % 125, 0); // 24/1000 canonicalizes to 3/125
+        for v in values {
+            let ticks = v.to_ticks(tick_den).unwrap();
+            assert_eq!(Rational::from_ticks(ticks, tick_den), v);
+        }
+        // Ordering is preserved exactly under a shared clock.
+        assert!(rat(1, 3).to_ticks(6).unwrap() < rat(1, 2).to_ticks(6).unwrap());
+    }
+
+    #[test]
+    fn tick_rescaling_rejects_inexact_and_overflow() {
+        assert_eq!(rat(1, 7).to_ticks(12), None);
+        assert_eq!(rat(1, 3).to_ticks(0), None);
+        // LCM of two huge coprime denominators overflows i128.
+        let big = rat(1, i128::MAX / 2);
+        assert_eq!(big.lcm_den(i128::MAX / 2 - 1), None);
+        // Exact denominator but the numerator blows past i128.
+        assert_eq!(rat(i128::MAX / 2, 1).to_ticks(4), None);
     }
 
     #[test]

@@ -19,6 +19,24 @@
 //!   `offset + k·τ` and must start exactly then; a firing that cannot
 //!   start at its release is a [`Violation`] (deadline miss).  This is the
 //!   executable form of the paper's throughput constraint.
+//!
+//! # The integer tick clock
+//!
+//! Every time in one run — response times, the period `τ`, the periodic
+//! offset, the horizon — is a [`Rational`], but they all share a common
+//! denominator: the LCM of their canonical denominators.  At construction
+//! the engine computes that LCM ([`Rational::lcm_den`]) and converts every
+//! time to integer *ticks* of `1/LCM` once ([`Rational::to_ticks`]).  The
+//! entire event loop — heap ordering, release/finish/deadline arithmetic,
+//! drift tracking — then runs on machine integers; exact rational
+//! arithmetic (i128 gcd reduction per add and compare) is paid only at
+//! the report boundary, where ticks convert back to [`Rational`].  The
+//! rescaling is exact, so the tick engine is observably identical to the
+//! rational-time reference ([`crate::reference::ReferenceSimulator`]);
+//! `tests/differential.rs` enforces this and `benches/mp3_simulation`
+//! measures the speedup.  A time base too fine to rescale (a converted
+//! quantity past `u64::MAX` ticks) is rejected with
+//! [`SimError::TickOverflow`] instead of wrapping.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -29,7 +47,7 @@ use vrdf_core::{
     ThroughputConstraint,
 };
 
-use crate::policy::{QuantumPlan, Side};
+use crate::policy::{CompiledQuantum, QuantumPlan, Side};
 use crate::SimError;
 
 /// How the throughput-constrained endpoint task is scheduled.
@@ -301,9 +319,11 @@ enum EventKind {
     Release,
 }
 
+/// A heap entry; `time` is in integer ticks, so each compare is a pair of
+/// machine-integer comparisons instead of cross-reduced rational ones.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct Event {
-    time: Rational,
+    time: i128,
     seq: u64,
     kind: EventKind,
 }
@@ -339,11 +359,16 @@ struct BufState {
     max_occupancy: u64,
     produced: u64,
     consumed: u64,
+    /// The producer side's quantum sequence, pre-compiled for this run.
+    production: CompiledQuantum,
+    /// The consumer side's quantum sequence, pre-compiled for this run.
+    consumption: CompiledQuantum,
 }
 
 struct TaskCtx {
     id: TaskId,
-    rho: Rational,
+    /// Response time `κ(w)` in ticks; fits `u64`, widened for arithmetic.
+    rho: i128,
     /// Index into the buffer-state vector, if the task has an input.
     input: Option<usize>,
     /// Index into the buffer-state vector, if the task has an output.
@@ -351,10 +376,23 @@ struct TaskCtx {
     state: TaskState,
     started: u64,
     finished: u64,
-    busy_time: Rational,
+    busy_ticks: i128,
 }
 
-/// The discrete-event simulator; see the module docs for the semantics.
+/// A trace entry in ticks; converted to a [`FiringRecord`] only at the
+/// report boundary.
+#[derive(Clone, Copy)]
+struct TickRecord {
+    task: TaskId,
+    firing: u64,
+    start: i128,
+    finish: i128,
+    consumed: u64,
+    produced: u64,
+}
+
+/// The discrete-event simulator; see the module docs for the semantics
+/// and the integer tick clock it runs on.
 ///
 /// # Examples
 ///
@@ -380,24 +418,31 @@ struct TaskCtx {
 /// ```
 pub struct Simulator<'a> {
     tg: &'a TaskGraph,
-    plan: QuantumPlan,
     config: SimConfig,
     tasks: Vec<TaskCtx>,
     buffers: Vec<BufState>,
     /// Chain position of the constrained endpoint in `tasks`.
     endpoint: usize,
-    period: Rational,
+    /// Ticks per time unit: the LCM of every denominator in the run.
+    tick_den: i128,
+    period: i128,
+    /// Release time of firing 0, in ticks (periodic mode only).
+    offset: Option<i128>,
+    max_time: Option<i128>,
     heap: BinaryHeap<Event>,
     seq: u64,
     releases_issued: u64,
     violations: Vec<Violation>,
-    trace: Vec<FiringRecord>,
+    trace: Vec<TickRecord>,
     events_processed: u64,
-    now: Rational,
-    first_start: Option<Rational>,
-    last_start: Option<Rational>,
-    max_drift: Option<Rational>,
-    max_lateness: Option<Rational>,
+    now: i128,
+    /// Tasks whose enable condition may have changed since last checked;
+    /// only these are re-examined when settling an instant.
+    dirty: Vec<bool>,
+    first_start: Option<i128>,
+    last_start: Option<i128>,
+    max_drift: Option<i128>,
+    max_lateness: Option<i128>,
 }
 
 impl<'a> Simulator<'a> {
@@ -411,6 +456,8 @@ impl<'a> Simulator<'a> {
     /// * [`SimError::CapacityUnset`] — a buffer has no capacity.
     /// * [`SimError::QuantumNotInSet`] / [`SimError::EmptyCycle`] — the
     ///   plan draws values outside a buffer's quantum set.
+    /// * [`SimError::TickOverflow`] — the run's times cannot be rescaled
+    ///   to a shared integer tick clock within `u64` ticks.
     pub fn new(
         tg: &'a TaskGraph,
         plan: QuantumPlan,
@@ -418,6 +465,44 @@ impl<'a> Simulator<'a> {
     ) -> Result<Simulator<'a>, SimError> {
         let chain = tg.chain().map_err(SimError::Analysis)?;
         plan.validate(tg)?;
+
+        // One shared tick denominator for every time in the run.
+        let offset_rat = match config.behavior {
+            EndpointBehavior::StrictlyPeriodic { offset } => Some(offset),
+            EndpointBehavior::SelfTimed => None,
+        };
+        let mut tick_den: i128 = 1;
+        {
+            let mut fold = |r: Rational, what: &str| -> Result<(), SimError> {
+                tick_den = r.lcm_den(tick_den).ok_or_else(|| SimError::TickOverflow {
+                    quantity: what.to_owned(),
+                })?;
+                Ok(())
+            };
+            fold(config.constraint.period(), "period")?;
+            if let Some(offset) = offset_rat {
+                fold(offset, "offset")?;
+            }
+            if let Some(max_time) = config.max_time {
+                fold(max_time, "max_time")?;
+            }
+            for &tid in chain.tasks() {
+                fold(tg.task(tid).response_time(), tg.task(tid).name())?;
+            }
+        }
+        let to_ticks = |r: Rational, what: &str| -> Result<i128, SimError> {
+            let overflow = || SimError::TickOverflow {
+                quantity: what.to_owned(),
+            };
+            let ticks = r.to_ticks(tick_den).ok_or_else(overflow)?;
+            // Every base quantity's magnitude must fit u64 ticks (negative
+            // offsets are legal, matching the reference engine); loop
+            // arithmetic then runs in i128 with astronomical headroom.
+            if ticks.unsigned_abs() > u64::MAX as u128 {
+                return Err(overflow());
+            }
+            Ok(ticks)
+        };
 
         let mut buffers = Vec::with_capacity(chain.buffers().len());
         for &bid in chain.buffers() {
@@ -433,20 +518,23 @@ impl<'a> Simulator<'a> {
                 max_occupancy: 0,
                 produced: 0,
                 consumed: 0,
+                production: plan.compile(buffer.production(), bid.index(), Side::Production),
+                consumption: plan.compile(buffer.consumption(), bid.index(), Side::Consumption),
             });
         }
 
         let mut tasks = Vec::with_capacity(chain.tasks().len());
         for (pos, &tid) in chain.tasks().iter().enumerate() {
+            let task = tg.task(tid);
             tasks.push(TaskCtx {
                 id: tid,
-                rho: tg.task(tid).response_time(),
+                rho: to_ticks(task.response_time(), task.name())?,
                 input: pos.checked_sub(1),
                 output: (pos < chain.buffers().len()).then_some(pos),
                 state: TaskState::Idle,
                 started: 0,
                 finished: 0,
-                busy_time: Rational::ZERO,
+                busy_ticks: 0,
             });
         }
 
@@ -454,29 +542,38 @@ impl<'a> Simulator<'a> {
             ConstraintLocation::Sink => tasks.len() - 1,
             ConstraintLocation::Source => 0,
         };
-        let period = config.constraint.period();
+        let period = to_ticks(config.constraint.period(), "period")?;
+        let offset = offset_rat.map(|o| to_ticks(o, "offset")).transpose()?;
+        let max_time = config
+            .max_time
+            .map(|t| to_ticks(t, "max_time"))
+            .transpose()?;
 
+        let dirty = vec![true; tasks.len()];
         let mut sim = Simulator {
             tg,
-            plan,
             config,
             tasks,
             buffers,
             endpoint,
+            tick_den,
             period,
+            offset,
+            max_time,
             heap: BinaryHeap::new(),
             seq: 0,
             releases_issued: 0,
             violations: Vec::new(),
             trace: Vec::new(),
             events_processed: 0,
-            now: Rational::ZERO,
+            now: 0,
+            dirty,
             first_start: None,
             last_start: None,
             max_drift: None,
             max_lateness: None,
         };
-        if let EndpointBehavior::StrictlyPeriodic { offset } = sim.config.behavior {
+        if let Some(offset) = sim.offset {
             if sim.config.max_endpoint_firings > 0 {
                 sim.push(offset, EventKind::Release);
             }
@@ -484,7 +581,13 @@ impl<'a> Simulator<'a> {
         Ok(sim)
     }
 
-    fn push(&mut self, time: Rational, kind: EventKind) {
+    /// One tick as a time value: `1 / tick_den`.
+    #[inline]
+    fn rational(&self, ticks: i128) -> Rational {
+        Rational::from_ticks(ticks, self.tick_den)
+    }
+
+    fn push(&mut self, time: i128, kind: EventKind) {
         self.seq += 1;
         self.heap.push(Event {
             time,
@@ -494,26 +597,16 @@ impl<'a> Simulator<'a> {
     }
 
     /// The quanta firing `k` of the task at chain position `pos` would
-    /// transfer.
+    /// transfer; a compiled-policy draw, no set lookups.
+    #[inline]
     fn quanta_for(&self, pos: usize, k: u64) -> (u64, u64) {
-        let consumed = self.tasks[pos].input.map_or(0, |bi| {
-            let buffer = self.tg.buffer(self.buffers[bi].id);
-            self.plan.draw(
-                buffer.consumption(),
-                self.buffers[bi].id.index(),
-                Side::Consumption,
-                k,
-            )
-        });
-        let produced = self.tasks[pos].output.map_or(0, |bi| {
-            let buffer = self.tg.buffer(self.buffers[bi].id);
-            self.plan.draw(
-                buffer.production(),
-                self.buffers[bi].id.index(),
-                Side::Production,
-                k,
-            )
-        });
+        let task = &self.tasks[pos];
+        let consumed = task
+            .input
+            .map_or(0, |bi| self.buffers[bi].consumption.draw(k));
+        let produced = task
+            .output
+            .map_or(0, |bi| self.buffers[bi].production.draw(k));
         (consumed, produced)
     }
 
@@ -530,13 +623,7 @@ impl<'a> Simulator<'a> {
             if task.started >= self.config.max_endpoint_firings {
                 return Err(BlockReason::NotReleased);
             }
-            if honor_release
-                && matches!(
-                    self.config.behavior,
-                    EndpointBehavior::StrictlyPeriodic { .. }
-                )
-                && task.started >= self.releases_issued
-            {
+            if honor_release && self.offset.is_some() && task.started >= self.releases_issued {
                 return Err(BlockReason::NotReleased);
             }
         }
@@ -574,6 +661,10 @@ impl<'a> Simulator<'a> {
             b.consumed += consumed;
             if immediate_free {
                 b.space += consumed;
+                // Space freed upstream can enable the producer.
+                if pos > 0 {
+                    self.dirty[pos - 1] = true;
+                }
             }
         }
         if let Some(bi) = self.tasks[pos].output {
@@ -588,20 +679,20 @@ impl<'a> Simulator<'a> {
             let task = &mut self.tasks[pos];
             task.state = TaskState::Busy { consumed, produced };
             task.started += 1;
-            task.busy_time += rho;
+            task.busy_ticks += rho;
         }
         self.push(finish, EventKind::Finish { task: pos });
 
         if pos == self.endpoint {
             self.first_start.get_or_insert(start);
             self.last_start = Some(start);
-            match self.config.behavior {
-                EndpointBehavior::SelfTimed => {
-                    let drift = start - Rational::from(k) * self.period;
+            match self.offset {
+                None => {
+                    let drift = start - k as i128 * self.period;
                     self.max_drift = Some(self.max_drift.map_or(drift, |d| d.max(drift)));
                 }
-                EndpointBehavior::StrictlyPeriodic { offset } => {
-                    let lateness = start - (offset + Rational::from(k) * self.period);
+                Some(offset) => {
+                    let lateness = start - (offset + k as i128 * self.period);
                     self.max_lateness =
                         Some(self.max_lateness.map_or(lateness, |d| d.max(lateness)));
                 }
@@ -613,7 +704,7 @@ impl<'a> Simulator<'a> {
             TraceLevel::None => false,
         };
         if record {
-            self.trace.push(FiringRecord {
+            self.trace.push(TickRecord {
                 task: self.tasks[pos].id,
                 firing: k,
                 start,
@@ -644,16 +735,33 @@ impl<'a> Simulator<'a> {
         let task = &mut self.tasks[pos];
         task.state = TaskState::Idle;
         task.finished += 1;
+        // The finish can enable the task itself (now idle), its upstream
+        // producer (space freed), and its downstream consumer (tokens
+        // produced).
+        if pos > 0 {
+            self.dirty[pos - 1] = true;
+        }
+        self.dirty[pos] = true;
+        if pos + 1 < self.dirty.len() {
+            self.dirty[pos + 1] = true;
+        }
     }
 
     /// Starts every startable task; returns whether anything started.
+    /// Only tasks flagged dirty are examined — every transition that can
+    /// enable a task (finish, release, immediate space free) flags it.
     fn try_starts(&mut self) -> bool {
         let mut any = false;
         // Sweep until stable: one start can enable a neighbour at the same
-        // instant (e.g. a zero-response-time handoff).
+        // instant (e.g. a zero-response-time handoff).  Position order
+        // matches the reference engine so traces stay identical.
         loop {
             let mut progressed = false;
             for pos in 0..self.tasks.len() {
+                if !self.dirty[pos] {
+                    continue;
+                }
+                self.dirty[pos] = false;
                 if let Ok((consumed, produced)) = self.startable(pos, true) {
                     self.start_firing(pos, consumed, produced);
                     progressed = true;
@@ -666,8 +774,8 @@ impl<'a> Simulator<'a> {
         }
     }
 
-    /// Pops and applies every event scheduled exactly at `self.now`;
-    /// returns whether anything was processed.
+    /// Pops and applies every event scheduled exactly at `self.now` in one
+    /// batch; returns whether anything was processed.
     fn drain_events_at_now(&mut self) -> bool {
         let mut any = false;
         while let Some(event) = self.heap.peek() {
@@ -681,6 +789,7 @@ impl<'a> Simulator<'a> {
                 EventKind::Finish { task } => self.apply_finish(task),
                 EventKind::Release => {
                     self.releases_issued += 1;
+                    self.dirty[self.endpoint] = true;
                     if self.releases_issued < self.config.max_endpoint_firings {
                         self.push(event.time + self.period, EventKind::Release);
                     }
@@ -693,10 +802,10 @@ impl<'a> Simulator<'a> {
     /// After the instant `self.now` has fully settled, records a deadline
     /// miss for every release that passed without the endpoint starting.
     fn check_misses(&mut self) {
-        if let EndpointBehavior::StrictlyPeriodic { offset } = self.config.behavior {
+        if let Some(offset) = self.offset {
             let started = self.tasks[self.endpoint].started;
             for firing in started..self.releases_issued {
-                let release = offset + Rational::from(firing) * self.period;
+                let release = offset + firing as i128 * self.period;
                 if release < self.now {
                     // Already reported when its instant settled.
                     continue;
@@ -707,23 +816,24 @@ impl<'a> Simulator<'a> {
                     .unwrap_or(BlockReason::NotReleased);
                 self.violations.push(Violation {
                     firing,
-                    release,
+                    release: self.rational(release),
                     reason,
                 });
             }
         }
     }
 
-    /// Runs the simulation to completion and returns the report.
+    /// Runs the simulation to completion and returns the report; all tick
+    /// quantities convert back to [`Rational`] here, at the boundary.
     pub fn run(mut self) -> SimReport {
         let outcome = self.run_loop();
         let endpoint = EndpointStats {
             task: self.tasks[self.endpoint].id,
             firings: self.tasks[self.endpoint].finished,
-            first_start: self.first_start,
-            last_start: self.last_start,
-            max_drift: self.max_drift,
-            max_lateness: self.max_lateness,
+            first_start: self.first_start.map(|t| self.rational(t)),
+            last_start: self.last_start.map(|t| self.rational(t)),
+            max_drift: self.max_drift.map(|t| self.rational(t)),
+            max_lateness: self.max_lateness.map(|t| self.rational(t)),
         };
         let buffers = self
             .buffers
@@ -744,18 +854,31 @@ impl<'a> Simulator<'a> {
                 task: t.id,
                 name: self.tg.task(t.id).name().to_owned(),
                 firings: t.finished,
-                busy_time: t.busy_time,
+                busy_time: self.rational(t.busy_ticks),
             })
             .collect();
+        let trace = self
+            .trace
+            .iter()
+            .map(|r| FiringRecord {
+                task: r.task,
+                firing: r.firing,
+                start: self.rational(r.start),
+                finish: self.rational(r.finish),
+                consumed: r.consumed,
+                produced: r.produced,
+            })
+            .collect();
+        let end_time = self.rational(self.now);
         SimReport {
             outcome,
             violations: self.violations,
             endpoint,
             buffers,
             tasks,
-            trace: self.trace,
+            trace,
             events_processed: self.events_processed,
-            end_time: self.now,
+            end_time,
         }
     }
 
@@ -783,7 +906,7 @@ impl<'a> Simulator<'a> {
             // Advance to the next event.
             match self.heap.peek() {
                 Some(event) => {
-                    if let Some(max_time) = self.config.max_time {
+                    if let Some(max_time) = self.max_time {
                         if event.time > max_time {
                             return SimOutcome::HorizonReached;
                         }
@@ -799,7 +922,7 @@ impl<'a> Simulator<'a> {
                         })
                         .collect();
                     return SimOutcome::Deadlock {
-                        time: self.now,
+                        time: self.rational(self.now),
                         blocked,
                     };
                 }
@@ -985,5 +1108,30 @@ mod tests {
         assert!(report.ok(), "violations: {:?}", report.violations);
         assert_eq!(report.endpoint.firings, 200);
         assert_eq!(report.endpoint.task, tg.task_by_name("src").unwrap());
+    }
+
+    #[test]
+    fn tick_overflow_is_graceful() {
+        // Two coprime astronomically fine time bases: the denominator LCM
+        // itself overflows i128.
+        let p = i128::MAX / 2; // odd
+        let tg = TaskGraph::linear_chain(
+            [("wa", rat(1, p)), ("wb", rat(1, p - 1))],
+            [("b", q(&[1]), q(&[1]))],
+        )
+        .unwrap();
+        let mut tg = tg;
+        let buf = tg.buffer_by_name("b").unwrap();
+        tg.set_capacity(buf, 4);
+        let constraint = ThroughputConstraint::on_sink(rat(1, 1)).unwrap();
+        let err = Simulator::new(
+            &tg,
+            QuantumPlan::uniform(QuantumPolicy::Max),
+            SimConfig::self_timed(constraint),
+        )
+        .err()
+        .expect("rescaling must be rejected");
+        assert!(matches!(err, SimError::TickOverflow { .. }));
+        assert!(err.to_string().contains("tick"));
     }
 }

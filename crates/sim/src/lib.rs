@@ -49,13 +49,15 @@
 
 pub mod engine;
 pub mod policy;
+pub mod reference;
 pub mod validate;
 
 pub use engine::{
     BlockReason, BufferStats, EndpointBehavior, EndpointStats, FiringRecord, SimConfig, SimOutcome,
     SimReport, Simulator, TaskStats, TraceLevel, Violation,
 };
-pub use policy::{splitmix64, QuantumPlan, QuantumPolicy, Side};
+pub use policy::{splitmix64, CompiledQuantum, QuantumPlan, QuantumPolicy, Side};
+pub use reference::ReferenceSimulator;
 pub use validate::{
     conservative_offset, measure_drift, validate_assigned_capacities, validate_capacities,
     ScenarioResult, ValidationOptions, ValidationReport,
@@ -89,6 +91,16 @@ pub enum SimError {
         /// The buffer the policy was attached to.
         buffer: String,
     },
+    /// The run's times cannot be rescaled onto a shared integer tick
+    /// clock: the LCM of the denominators overflowed `i128`, or a
+    /// converted quantity exceeded `u64` ticks.  The time bases are too
+    /// fine-grained for the tick engine; coarsen them or simulate with
+    /// [`reference::ReferenceSimulator`].
+    TickOverflow {
+        /// The quantity that failed to rescale (a task name, `"period"`,
+        /// `"offset"`, or `"max_time"`).
+        quantity: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -108,6 +120,12 @@ impl fmt::Display for SimError {
                 write!(
                     f,
                     "cyclic quantum policy on buffer `{buffer}` has no values"
+                )
+            }
+            SimError::TickOverflow { quantity } => {
+                write!(
+                    f,
+                    "rescaling `{quantity}` to the integer tick clock would overflow u64 ticks"
                 )
             }
         }

@@ -168,6 +168,87 @@ impl QuantumPlan {
     }
 }
 
+/// A [`QuantumPolicy`] specialised to one (buffer, side): the set lookup,
+/// override search, and key mixing are done once at compile time so the
+/// per-firing draw in the simulator's hot loop is a plain array index.
+///
+/// Produced by [`QuantumPolicy::compile`]; draws are bit-identical to
+/// [`QuantumPolicy::draw`] on the same arguments.
+#[derive(Clone, Debug)]
+pub enum CompiledQuantum {
+    /// Min / Max / Constant collapse to one fixed value.
+    Fixed(u64),
+    /// A cyclic schedule over these values.
+    Cyclic(Vec<u64>),
+    /// Seeded-random draws over the set's members; `key` premixes the
+    /// seed, buffer, and side so only the firing index varies per draw.
+    Random {
+        /// `seed ^ buffer·M1 ^ side·M2`, XORed with the mixed firing index.
+        key: u64,
+        /// The quantum set's members, in order.
+        values: Vec<u64>,
+    },
+}
+
+impl CompiledQuantum {
+    /// The quantum for firing `firing`; equals
+    /// `QuantumPolicy::draw(set, buffer, side, firing)` of the policy this
+    /// was compiled from.
+    #[inline]
+    pub fn draw(&self, firing: u64) -> u64 {
+        match self {
+            CompiledQuantum::Fixed(v) => *v,
+            CompiledQuantum::Cyclic(values) => values[(firing % values.len() as u64) as usize],
+            CompiledQuantum::Random { key, values } => {
+                let x = splitmix64(key ^ firing.wrapping_mul(0x94D0_49BB_1331_11EB));
+                values[(x % values.len() as u64) as usize]
+            }
+        }
+    }
+
+    /// The largest value the compiled policy can ever draw.
+    pub fn max(&self) -> u64 {
+        match self {
+            CompiledQuantum::Fixed(v) => *v,
+            CompiledQuantum::Cyclic(values) | CompiledQuantum::Random { values, .. } => {
+                values.iter().copied().max().unwrap_or(0)
+            }
+        }
+    }
+}
+
+impl QuantumPolicy {
+    /// Specialises the policy for one (buffer, side) over its quantum set.
+    pub fn compile(&self, set: &QuantumSet, buffer: usize, side: Side) -> CompiledQuantum {
+        match self {
+            QuantumPolicy::Min => CompiledQuantum::Fixed(set.min()),
+            QuantumPolicy::Max => CompiledQuantum::Fixed(set.max()),
+            QuantumPolicy::Constant(v) => CompiledQuantum::Fixed(*v),
+            QuantumPolicy::Cyclic(values) => CompiledQuantum::Cyclic(values.clone()),
+            QuantumPolicy::Random { seed } => {
+                let side_bit = match side {
+                    Side::Production => 0u64,
+                    Side::Consumption => 1u64,
+                };
+                CompiledQuantum::Random {
+                    key: seed
+                        ^ (buffer as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                        ^ side_bit.wrapping_mul(0xBF58_476D_1CE4_E5B9),
+                    values: set.as_slice().to_vec(),
+                }
+            }
+        }
+    }
+}
+
+impl QuantumPlan {
+    /// Compiles the effective policy of one (buffer, side); see
+    /// [`QuantumPolicy::compile`].
+    pub fn compile(&self, set: &QuantumSet, buffer: usize, side: Side) -> CompiledQuantum {
+        self.policy(buffer, side).compile(set, buffer, side)
+    }
+}
+
 /// The splitmix64 mixing function — a tiny, dependency-free, statistically
 /// solid way to turn a key into a pseudo-random word.
 #[inline]
@@ -234,6 +315,42 @@ mod tests {
         assert_eq!(
             plan.policy(1, Side::Consumption),
             &QuantumPolicy::Constant(3)
+        );
+    }
+
+    #[test]
+    fn compiled_matches_interpreted_draws() {
+        let s = set(&[0, 2, 7, 11]);
+        let policies = [
+            QuantumPolicy::Min,
+            QuantumPolicy::Max,
+            QuantumPolicy::Constant(7),
+            QuantumPolicy::Cyclic(vec![2, 11, 0]),
+            QuantumPolicy::Random { seed: 42 },
+        ];
+        for policy in &policies {
+            for side in [Side::Production, Side::Consumption] {
+                for buffer in [0usize, 3] {
+                    let compiled = policy.compile(&s, buffer, side);
+                    for k in 0..200 {
+                        assert_eq!(
+                            compiled.draw(k),
+                            policy.draw(&s, buffer, side, k),
+                            "{policy:?} {side:?} buffer {buffer} firing {k}"
+                        );
+                    }
+                }
+            }
+        }
+        assert_eq!(
+            QuantumPolicy::Max.compile(&s, 0, Side::Production).max(),
+            11
+        );
+        assert_eq!(
+            QuantumPolicy::Random { seed: 1 }
+                .compile(&s, 0, Side::Production)
+                .max(),
+            11
         );
     }
 

@@ -1,0 +1,495 @@
+//! The exact-`Rational` reference executor.
+//!
+//! This is the pre-rescale form of the engine: every event time is an
+//! exact [`Rational`], so each heap compare and every release/finish
+//! addition pays i128 gcd reduction.  The production [`Simulator`] runs
+//! the same operational semantics on an integer tick clock instead; this
+//! module exists so the tick engine can be differentially tested against
+//! the original semantics (same traces, same violations, same outcome)
+//! and so the speedup can be *measured* rather than claimed
+//! (`benches/mp3_simulation`).
+//!
+//! [`Simulator`]: crate::engine::Simulator
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use vrdf_core::{BufferId, ConstrainedRelease, ConstraintLocation, Rational, TaskGraph, TaskId};
+
+use crate::engine::{
+    BlockReason, BufferStats, EndpointBehavior, EndpointStats, FiringRecord, SimConfig, SimOutcome,
+    SimReport, TaskStats, TraceLevel, Violation,
+};
+use crate::policy::{QuantumPlan, Side};
+use crate::SimError;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum EventKind {
+    Finish { task: usize },
+    Release,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Event {
+    time: Rational,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering so BinaryHeap pops the earliest event; ties
+        // break FIFO by sequence number.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+enum TaskState {
+    Idle,
+    Busy { consumed: u64, produced: u64 },
+}
+
+struct BufState {
+    id: BufferId,
+    tokens: u64,
+    space: u64,
+    capacity: u64,
+    max_occupancy: u64,
+    produced: u64,
+    consumed: u64,
+}
+
+struct TaskCtx {
+    id: TaskId,
+    rho: Rational,
+    input: Option<usize>,
+    output: Option<usize>,
+    state: TaskState,
+    started: u64,
+    finished: u64,
+    busy_time: Rational,
+}
+
+/// The pre-rescale discrete-event simulator over exact [`Rational`] time.
+///
+/// Construction and [`run`](ReferenceSimulator::run) mirror
+/// [`Simulator`](crate::engine::Simulator) exactly; the two must stay
+/// observably identical (`tests/differential.rs` enforces it).
+pub struct ReferenceSimulator<'a> {
+    tg: &'a TaskGraph,
+    plan: QuantumPlan,
+    config: SimConfig,
+    tasks: Vec<TaskCtx>,
+    buffers: Vec<BufState>,
+    endpoint: usize,
+    period: Rational,
+    heap: BinaryHeap<Event>,
+    seq: u64,
+    releases_issued: u64,
+    violations: Vec<Violation>,
+    trace: Vec<FiringRecord>,
+    events_processed: u64,
+    now: Rational,
+    first_start: Option<Rational>,
+    last_start: Option<Rational>,
+    max_drift: Option<Rational>,
+    max_lateness: Option<Rational>,
+}
+
+impl<'a> ReferenceSimulator<'a> {
+    /// Builds a reference simulator; same contract as
+    /// [`Simulator::new`](crate::engine::Simulator::new).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Simulator::new`](crate::engine::Simulator::new), minus
+    /// [`SimError::TickOverflow`] — rational time never rescales.
+    pub fn new(
+        tg: &'a TaskGraph,
+        plan: QuantumPlan,
+        config: SimConfig,
+    ) -> Result<ReferenceSimulator<'a>, SimError> {
+        let chain = tg.chain().map_err(SimError::Analysis)?;
+        plan.validate(tg)?;
+
+        let mut buffers = Vec::with_capacity(chain.buffers().len());
+        for &bid in chain.buffers() {
+            let buffer = tg.buffer(bid);
+            let capacity = buffer.capacity().ok_or_else(|| SimError::CapacityUnset {
+                buffer: buffer.name().to_owned(),
+            })?;
+            buffers.push(BufState {
+                id: bid,
+                tokens: 0,
+                space: capacity,
+                capacity,
+                max_occupancy: 0,
+                produced: 0,
+                consumed: 0,
+            });
+        }
+
+        let mut tasks = Vec::with_capacity(chain.tasks().len());
+        for (pos, &tid) in chain.tasks().iter().enumerate() {
+            tasks.push(TaskCtx {
+                id: tid,
+                rho: tg.task(tid).response_time(),
+                input: pos.checked_sub(1),
+                output: (pos < chain.buffers().len()).then_some(pos),
+                state: TaskState::Idle,
+                started: 0,
+                finished: 0,
+                busy_time: Rational::ZERO,
+            });
+        }
+
+        let endpoint = match config.constraint.location() {
+            ConstraintLocation::Sink => tasks.len() - 1,
+            ConstraintLocation::Source => 0,
+        };
+        let period = config.constraint.period();
+
+        let mut sim = ReferenceSimulator {
+            tg,
+            plan,
+            config,
+            tasks,
+            buffers,
+            endpoint,
+            period,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            releases_issued: 0,
+            violations: Vec::new(),
+            trace: Vec::new(),
+            events_processed: 0,
+            now: Rational::ZERO,
+            first_start: None,
+            last_start: None,
+            max_drift: None,
+            max_lateness: None,
+        };
+        if let EndpointBehavior::StrictlyPeriodic { offset } = sim.config.behavior {
+            if sim.config.max_endpoint_firings > 0 {
+                sim.push(offset, EventKind::Release);
+            }
+        }
+        Ok(sim)
+    }
+
+    fn push(&mut self, time: Rational, kind: EventKind) {
+        self.seq += 1;
+        self.heap.push(Event {
+            time,
+            seq: self.seq,
+            kind,
+        });
+    }
+
+    fn quanta_for(&self, pos: usize, k: u64) -> (u64, u64) {
+        let consumed = self.tasks[pos].input.map_or(0, |bi| {
+            let buffer = self.tg.buffer(self.buffers[bi].id);
+            self.plan.draw(
+                buffer.consumption(),
+                self.buffers[bi].id.index(),
+                Side::Consumption,
+                k,
+            )
+        });
+        let produced = self.tasks[pos].output.map_or(0, |bi| {
+            let buffer = self.tg.buffer(self.buffers[bi].id);
+            self.plan.draw(
+                buffer.production(),
+                self.buffers[bi].id.index(),
+                Side::Production,
+                k,
+            )
+        });
+        (consumed, produced)
+    }
+
+    fn startable(&self, pos: usize, honor_release: bool) -> Result<(u64, u64), BlockReason> {
+        let task = &self.tasks[pos];
+        if matches!(task.state, TaskState::Busy { .. }) {
+            return Err(BlockReason::Busy);
+        }
+        if pos == self.endpoint {
+            if task.started >= self.config.max_endpoint_firings {
+                return Err(BlockReason::NotReleased);
+            }
+            if honor_release
+                && matches!(
+                    self.config.behavior,
+                    EndpointBehavior::StrictlyPeriodic { .. }
+                )
+                && task.started >= self.releases_issued
+            {
+                return Err(BlockReason::NotReleased);
+            }
+        }
+        let (consumed, produced) = self.quanta_for(pos, task.started);
+        if let Some(bi) = task.input {
+            let b = &self.buffers[bi];
+            if b.tokens < consumed {
+                return Err(BlockReason::NeedTokens {
+                    buffer: b.id,
+                    have: b.tokens,
+                    need: consumed,
+                });
+            }
+        }
+        if let Some(bi) = task.output {
+            let b = &self.buffers[bi];
+            if b.space < produced {
+                return Err(BlockReason::NeedSpace {
+                    buffer: b.id,
+                    have: b.space,
+                    need: produced,
+                });
+            }
+        }
+        Ok((consumed, produced))
+    }
+
+    fn start_firing(&mut self, pos: usize, consumed: u64, produced: u64) {
+        let k = self.tasks[pos].started;
+        let immediate_free =
+            pos == self.endpoint && self.config.release == ConstrainedRelease::Immediate;
+        if let Some(bi) = self.tasks[pos].input {
+            let b = &mut self.buffers[bi];
+            b.tokens -= consumed;
+            b.consumed += consumed;
+            if immediate_free {
+                b.space += consumed;
+            }
+        }
+        if let Some(bi) = self.tasks[pos].output {
+            let b = &mut self.buffers[bi];
+            b.space -= produced;
+            b.max_occupancy = b.max_occupancy.max(b.capacity - b.space);
+        }
+        let start = self.now;
+        let rho = self.tasks[pos].rho;
+        let finish = start + rho;
+        {
+            let task = &mut self.tasks[pos];
+            task.state = TaskState::Busy { consumed, produced };
+            task.started += 1;
+            task.busy_time += rho;
+        }
+        self.push(finish, EventKind::Finish { task: pos });
+
+        if pos == self.endpoint {
+            self.first_start.get_or_insert(start);
+            self.last_start = Some(start);
+            match self.config.behavior {
+                EndpointBehavior::SelfTimed => {
+                    let drift = start - Rational::from(k) * self.period;
+                    self.max_drift = Some(self.max_drift.map_or(drift, |d| d.max(drift)));
+                }
+                EndpointBehavior::StrictlyPeriodic { offset } => {
+                    let lateness = start - (offset + Rational::from(k) * self.period);
+                    self.max_lateness =
+                        Some(self.max_lateness.map_or(lateness, |d| d.max(lateness)));
+                }
+            }
+        }
+        let record = match self.config.trace {
+            TraceLevel::All => true,
+            TraceLevel::Endpoint => pos == self.endpoint,
+            TraceLevel::None => false,
+        };
+        if record {
+            self.trace.push(FiringRecord {
+                task: self.tasks[pos].id,
+                firing: k,
+                start,
+                finish,
+                consumed,
+                produced,
+            });
+        }
+    }
+
+    fn apply_finish(&mut self, pos: usize) {
+        let (consumed, produced) = match self.tasks[pos].state {
+            TaskState::Busy { consumed, produced } => (consumed, produced),
+            TaskState::Idle => unreachable!("finish event for an idle task"),
+        };
+        let immediate_free =
+            pos == self.endpoint && self.config.release == ConstrainedRelease::Immediate;
+        if let Some(bi) = self.tasks[pos].input {
+            if !immediate_free {
+                self.buffers[bi].space += consumed;
+            }
+        }
+        if let Some(bi) = self.tasks[pos].output {
+            let b = &mut self.buffers[bi];
+            b.tokens += produced;
+            b.produced += produced;
+        }
+        let task = &mut self.tasks[pos];
+        task.state = TaskState::Idle;
+        task.finished += 1;
+    }
+
+    fn try_starts(&mut self) -> bool {
+        let mut any = false;
+        loop {
+            let mut progressed = false;
+            for pos in 0..self.tasks.len() {
+                if let Ok((consumed, produced)) = self.startable(pos, true) {
+                    self.start_firing(pos, consumed, produced);
+                    progressed = true;
+                    any = true;
+                }
+            }
+            if !progressed {
+                return any;
+            }
+        }
+    }
+
+    fn drain_events_at_now(&mut self) -> bool {
+        let mut any = false;
+        while let Some(event) = self.heap.peek() {
+            if event.time != self.now {
+                break;
+            }
+            let event = self.heap.pop().expect("peeked");
+            self.events_processed += 1;
+            any = true;
+            match event.kind {
+                EventKind::Finish { task } => self.apply_finish(task),
+                EventKind::Release => {
+                    self.releases_issued += 1;
+                    if self.releases_issued < self.config.max_endpoint_firings {
+                        self.push(event.time + self.period, EventKind::Release);
+                    }
+                }
+            }
+        }
+        any
+    }
+
+    fn check_misses(&mut self) {
+        if let EndpointBehavior::StrictlyPeriodic { offset } = self.config.behavior {
+            let started = self.tasks[self.endpoint].started;
+            for firing in started..self.releases_issued {
+                let release = offset + Rational::from(firing) * self.period;
+                if release < self.now {
+                    continue;
+                }
+                let reason = self
+                    .startable(self.endpoint, false)
+                    .err()
+                    .unwrap_or(BlockReason::NotReleased);
+                self.violations.push(Violation {
+                    firing,
+                    release,
+                    reason,
+                });
+            }
+        }
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    pub fn run(mut self) -> SimReport {
+        let outcome = self.run_loop();
+        let endpoint = EndpointStats {
+            task: self.tasks[self.endpoint].id,
+            firings: self.tasks[self.endpoint].finished,
+            first_start: self.first_start,
+            last_start: self.last_start,
+            max_drift: self.max_drift,
+            max_lateness: self.max_lateness,
+        };
+        let buffers = self
+            .buffers
+            .iter()
+            .map(|b| BufferStats {
+                buffer: b.id,
+                name: self.tg.buffer(b.id).name().to_owned(),
+                capacity: b.capacity,
+                max_occupancy: b.max_occupancy,
+                produced: b.produced,
+                consumed: b.consumed,
+            })
+            .collect();
+        let tasks = self
+            .tasks
+            .iter()
+            .map(|t| TaskStats {
+                task: t.id,
+                name: self.tg.task(t.id).name().to_owned(),
+                firings: t.finished,
+                busy_time: t.busy_time,
+            })
+            .collect();
+        SimReport {
+            outcome,
+            violations: self.violations,
+            endpoint,
+            buffers,
+            tasks,
+            trace: self.trace,
+            events_processed: self.events_processed,
+            end_time: self.now,
+        }
+    }
+
+    fn run_loop(&mut self) -> SimOutcome {
+        loop {
+            loop {
+                let drained = self.drain_events_at_now();
+                let started = self.try_starts();
+                if self.events_processed > self.config.max_events {
+                    return SimOutcome::EventBudgetExhausted;
+                }
+                if !drained && !started {
+                    break;
+                }
+            }
+            self.check_misses();
+            if self.config.stop_on_violation && !self.violations.is_empty() {
+                return SimOutcome::StoppedOnViolation;
+            }
+            if self.tasks[self.endpoint].finished >= self.config.max_endpoint_firings {
+                return SimOutcome::Completed;
+            }
+            match self.heap.peek() {
+                Some(event) => {
+                    if let Some(max_time) = self.config.max_time {
+                        if event.time > max_time {
+                            return SimOutcome::HorizonReached;
+                        }
+                    }
+                    self.now = event.time;
+                }
+                None => {
+                    let blocked = (0..self.tasks.len())
+                        .filter_map(|pos| {
+                            self.startable(pos, true)
+                                .err()
+                                .map(|reason| (self.tasks[pos].id, reason))
+                        })
+                        .collect();
+                    return SimOutcome::Deadlock {
+                        time: self.now,
+                        blocked,
+                    };
+                }
+            }
+        }
+    }
+}

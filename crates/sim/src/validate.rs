@@ -9,6 +9,11 @@
 //! scenario may ever produce a deadline miss or deadlock; a violation in
 //! any scenario is a counterexample to the analysis.
 //!
+//! Scenarios are independent simulations, so the battery fans out over a
+//! scoped thread pool ([`ValidationOptions::threads`]); results are
+//! merged back in scenario order, making the report bit-identical for
+//! every thread count.
+//!
 //! The periodic offset is chosen *conservatively* from the analysis
 //! ([`conservative_offset`]): by linearity of VRDF, shifting the whole
 //! schedule later is always admissible, so any offset at or above the
@@ -40,6 +45,11 @@ pub struct ValidationOptions {
     pub max_events: u64,
     /// Stop each scenario at its first violation.
     pub stop_on_violation: bool,
+    /// Worker-thread cap for the scenario battery: `0` uses the machine's
+    /// available parallelism, `1` runs sequentially.  Scenarios are
+    /// independent simulations, so the verdict is identical for every
+    /// thread count — only the wall clock changes.
+    pub threads: usize,
 }
 
 impl Default for ValidationOptions {
@@ -51,6 +61,7 @@ impl Default for ValidationOptions {
             extra_offset: Rational::ZERO,
             max_events: 50_000_000,
             stop_on_violation: true,
+            threads: 0,
         }
     }
 }
@@ -256,6 +267,37 @@ pub fn validate_assigned_capacities(
     validate_graph(tg, constraint, offset, release, opts)
 }
 
+/// Runs one named scenario to a [`ScenarioResult`].
+fn run_scenario(
+    tg: &TaskGraph,
+    constraint: ThroughputConstraint,
+    offset: Rational,
+    release: vrdf_core::ConstrainedRelease,
+    opts: &ValidationOptions,
+    name: String,
+    plan: QuantumPlan,
+) -> Result<ScenarioResult, SimError> {
+    let mut config = SimConfig::periodic(constraint, offset);
+    config.release = release;
+    config.max_endpoint_firings = opts.endpoint_firings;
+    config.max_events = opts.max_events;
+    config.stop_on_violation = opts.stop_on_violation;
+    config.trace = TraceLevel::None;
+    let report = Simulator::new(tg, plan, config)?.run();
+    debug_assert!(report.buffers.iter().all(|b| b.max_occupancy <= b.capacity));
+    Ok(ScenarioResult { name, report })
+}
+
+/// The worker count to use for `n` scenarios under the configured cap.
+fn effective_threads(cap: usize, n: usize) -> usize {
+    let cap = if cap == 0 {
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    } else {
+        cap
+    };
+    cap.min(n).max(1)
+}
+
 fn validate_graph(
     tg: &TaskGraph,
     constraint: ThroughputConstraint,
@@ -263,18 +305,56 @@ fn validate_graph(
     release: vrdf_core::ConstrainedRelease,
     opts: &ValidationOptions,
 ) -> Result<ValidationReport, SimError> {
-    let mut scenarios = Vec::new();
-    for (name, plan) in scenario_plans(tg, opts) {
-        let mut config = SimConfig::periodic(constraint, offset);
-        config.release = release;
-        config.max_endpoint_firings = opts.endpoint_firings;
-        config.max_events = opts.max_events;
-        config.stop_on_violation = opts.stop_on_violation;
-        config.trace = TraceLevel::None;
-        let report = Simulator::new(tg, plan, config)?.run();
-        debug_assert!(report.buffers.iter().all(|b| b.max_occupancy <= b.capacity));
-        scenarios.push(ScenarioResult { name, report });
-    }
+    let plans = scenario_plans(tg, opts);
+    let threads = effective_threads(opts.threads, plans.len());
+
+    let scenarios = if threads <= 1 {
+        plans
+            .into_iter()
+            .map(|(name, plan)| run_scenario(tg, constraint, offset, release, opts, name, plan))
+            .collect::<Result<Vec<_>, _>>()?
+    } else {
+        // Strided fan-out: worker `w` takes scenarios w, w+threads, …
+        // Each returns (index, result) pairs and the merge re-sorts by
+        // index, so the report is identical for every thread count.
+        let plans: Vec<(usize, String, QuantumPlan)> = plans
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, plan))| (i, name, plan))
+            .collect();
+        let mut indexed: Vec<(usize, Result<ScenarioResult, SimError>)> =
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(threads);
+                for worker in 0..threads {
+                    let chunk: Vec<(usize, String, QuantumPlan)> = plans
+                        .iter()
+                        .skip(worker)
+                        .step_by(threads)
+                        .map(|(i, name, plan)| (*i, name.clone(), plan.clone()))
+                        .collect();
+                    handles.push(scope.spawn(move || {
+                        chunk
+                            .into_iter()
+                            .map(|(i, name, plan)| {
+                                (
+                                    i,
+                                    run_scenario(tg, constraint, offset, release, opts, name, plan),
+                                )
+                            })
+                            .collect::<Vec<_>>()
+                    }));
+                }
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("scenario worker panicked"))
+                    .collect()
+            });
+        indexed.sort_by_key(|(i, _)| *i);
+        indexed
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect::<Result<Vec<_>, _>>()?
+    };
     Ok(ValidationReport { offset, scenarios })
 }
 
@@ -354,6 +434,31 @@ mod tests {
             offset >= drift,
             "conservative offset {offset} below measured drift {drift}"
         );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_verdict() {
+        let (tg, constraint) = pair_graph();
+        let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
+        let opts = |threads| ValidationOptions {
+            endpoint_firings: 400,
+            random_runs: 5,
+            threads,
+            ..ValidationOptions::default()
+        };
+        let sequential = validate_capacities(&tg, &analysis, &opts(1)).unwrap();
+        for threads in [0, 2, 3, 8] {
+            let parallel = validate_capacities(&tg, &analysis, &opts(threads)).unwrap();
+            assert_eq!(parallel.offset, sequential.offset);
+            assert_eq!(parallel.scenarios.len(), sequential.scenarios.len());
+            for (p, s) in parallel.scenarios.iter().zip(&sequential.scenarios) {
+                assert_eq!(p.name, s.name, "scenario order must not depend on threads");
+                assert_eq!(p.report.outcome, s.report.outcome);
+                assert_eq!(p.report.violations, s.report.violations);
+                assert_eq!(p.report.events_processed, s.report.events_processed);
+                assert_eq!(p.report.endpoint.firings, s.report.endpoint.firings);
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Differential testing: the integer tick-time engine must be observably
+//! identical to the exact-`Rational` reference executor.
+//!
+//! The tick rescaling is exact (the clock is the LCM of every denominator
+//! in the run), so there is no tolerance anywhere in these comparisons:
+//! firing traces, violations, outcomes, endpoint statistics, buffer
+//! statistics, and event counts must match bit for bit — on the MP3 case
+//! study and on a battery of seeded random chains, under worst-case,
+//! cyclic, and seeded-random quantum scenarios, in both self-timed and
+//! strictly periodic modes, including under-provisioned runs that end in
+//! deadline misses or deadlock.
+
+use vrdf_apps::synthetic::{random_chain, ChainSpec};
+use vrdf_apps::{mp3_chain, mp3_constraint};
+use vrdf_core::{compute_buffer_capacities, Rational, TaskGraph};
+use vrdf_sim::{
+    conservative_offset, QuantumPlan, QuantumPolicy, ReferenceSimulator, SimConfig, SimReport,
+    Simulator, TraceLevel,
+};
+
+/// Asserts two reports are observably identical.
+fn assert_identical(tick: &SimReport, reference: &SimReport, context: &str) {
+    assert_eq!(tick.outcome, reference.outcome, "{context}: outcome");
+    assert_eq!(
+        tick.violations, reference.violations,
+        "{context}: violations"
+    );
+    assert_eq!(tick.trace, reference.trace, "{context}: firing trace");
+    assert_eq!(
+        tick.events_processed, reference.events_processed,
+        "{context}: event count"
+    );
+    assert_eq!(tick.end_time, reference.end_time, "{context}: end time");
+
+    assert_eq!(tick.endpoint.task, reference.endpoint.task);
+    assert_eq!(tick.endpoint.firings, reference.endpoint.firings);
+    assert_eq!(tick.endpoint.first_start, reference.endpoint.first_start);
+    assert_eq!(tick.endpoint.last_start, reference.endpoint.last_start);
+    assert_eq!(tick.endpoint.max_drift, reference.endpoint.max_drift);
+    assert_eq!(tick.endpoint.max_lateness, reference.endpoint.max_lateness);
+
+    assert_eq!(tick.buffers.len(), reference.buffers.len());
+    for (t, r) in tick.buffers.iter().zip(&reference.buffers) {
+        assert_eq!(t.buffer, r.buffer);
+        assert_eq!(t.capacity, r.capacity);
+        assert_eq!(t.max_occupancy, r.max_occupancy, "{context}: {}", t.name);
+        assert_eq!(t.produced, r.produced);
+        assert_eq!(t.consumed, r.consumed);
+    }
+    assert_eq!(tick.tasks.len(), reference.tasks.len());
+    for (t, r) in tick.tasks.iter().zip(&reference.tasks) {
+        assert_eq!(t.task, r.task);
+        assert_eq!(t.firings, r.firings);
+        assert_eq!(t.busy_time, r.busy_time, "{context}: {}", t.name);
+    }
+}
+
+/// Runs both engines on the same inputs and cross-checks them.
+fn run_both(tg: &TaskGraph, plan: &QuantumPlan, config: &SimConfig, context: &str) {
+    let tick = Simulator::new(tg, plan.clone(), config.clone())
+        .unwrap_or_else(|e| panic!("{context}: tick construction failed: {e}"))
+        .run();
+    let reference = ReferenceSimulator::new(tg, plan.clone(), config.clone())
+        .unwrap_or_else(|e| panic!("{context}: reference construction failed: {e}"))
+        .run();
+    assert_identical(&tick, &reference, context);
+}
+
+fn scenario_plans(seed: u64) -> Vec<(&'static str, QuantumPlan)> {
+    vec![
+        ("max", QuantumPlan::uniform(QuantumPolicy::Max)),
+        ("min", QuantumPlan::uniform(QuantumPolicy::Min)),
+        ("random", QuantumPlan::random(seed)),
+    ]
+}
+
+#[test]
+fn mp3_chain_is_identical_across_engines() {
+    let tg = mp3_chain();
+    let constraint = mp3_constraint();
+    let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
+    let offset = conservative_offset(&tg, &analysis);
+    let mut sized = tg.clone();
+    analysis.apply(&mut sized);
+
+    for (name, plan) in scenario_plans(0xD1FF) {
+        // Strictly periodic at the conservative offset, tracing the
+        // endpoint: the paper's verification setup.
+        let mut config = SimConfig::periodic(constraint, offset);
+        config.max_endpoint_firings = 2_000;
+        config.trace = TraceLevel::Endpoint;
+        run_both(&sized, &plan, &config, &format!("mp3 periodic {name}"));
+
+        // Self-timed with full traces: exercises drift tracking.
+        let mut config = SimConfig::self_timed(constraint);
+        config.max_endpoint_firings = 2_000;
+        config.trace = TraceLevel::All;
+        run_both(&sized, &plan, &config, &format!("mp3 self-timed {name}"));
+    }
+}
+
+#[test]
+fn mp3_underprovisioned_violations_are_identical() {
+    // Shrinking d3 below its operational minimum forces deadline misses;
+    // both engines must report the same ones.
+    let tg = mp3_chain();
+    let constraint = mp3_constraint();
+    let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
+    let offset = conservative_offset(&tg, &analysis);
+    let mut sized = tg.clone();
+    analysis.apply(&mut sized);
+    let d3 = sized.buffer_by_name("d3").unwrap();
+    sized.set_capacity(d3, 800);
+
+    let mut config = SimConfig::periodic(constraint, offset);
+    config.max_endpoint_firings = 2_000;
+    config.stop_on_violation = false;
+    config.max_events = 200_000;
+    run_both(
+        &sized,
+        &QuantumPlan::uniform(QuantumPolicy::Max),
+        &config,
+        "mp3 under-provisioned",
+    );
+}
+
+#[test]
+fn random_chain_battery_is_identical_across_engines() {
+    let spec = ChainSpec::default();
+    let mut exercised = 0u32;
+    for seed in 0..24 {
+        let (tg, constraint) = random_chain(seed, &spec).unwrap();
+        let analysis = match compute_buffer_capacities(&tg, constraint) {
+            Ok(a) => a,
+            Err(_) => continue, // generator guarantees feasibility; belt and braces
+        };
+        let offset = conservative_offset(&tg, &analysis);
+        let mut sized = tg.clone();
+        analysis.apply(&mut sized);
+
+        for (name, plan) in scenario_plans(seed ^ 0xBEEF) {
+            let mut config = SimConfig::periodic(constraint, offset);
+            config.max_endpoint_firings = 300;
+            config.trace = TraceLevel::All;
+            config.max_events = 2_000_000;
+            run_both(
+                &sized,
+                &plan,
+                &config,
+                &format!("seed {seed} periodic {name}"),
+            );
+
+            let mut config = SimConfig::self_timed(constraint);
+            config.max_endpoint_firings = 300;
+            config.trace = TraceLevel::All;
+            config.max_events = 2_000_000;
+            run_both(
+                &sized,
+                &plan,
+                &config,
+                &format!("seed {seed} self-timed {name}"),
+            );
+        }
+
+        // An under-provisioned variant: drop the first buffer's capacity
+        // to its maximum consumption quantum minus one when possible, so
+        // violation and deadlock paths are exercised too.
+        let (first, cap) = {
+            let (id, buffer) = sized.buffers().next().unwrap();
+            (id, buffer.capacity().unwrap())
+        };
+        if cap > 1 {
+            sized.set_capacity(first, cap - 1);
+            let mut config = SimConfig::periodic(constraint, offset);
+            config.max_endpoint_firings = 200;
+            config.stop_on_violation = true;
+            config.max_events = 2_000_000;
+            run_both(
+                &sized,
+                &QuantumPlan::uniform(QuantumPolicy::Max),
+                &config,
+                &format!("seed {seed} under-provisioned"),
+            );
+            exercised += 1;
+        }
+    }
+    assert!(
+        exercised >= 10,
+        "under-provisioned differential path barely exercised ({exercised} chains)"
+    );
+}
+
+#[test]
+fn negative_offset_is_identical_across_engines() {
+    // A first release before t = 0: the endpoint misses until data can
+    // reach it; tick times go negative and both engines must agree on
+    // every violation.
+    let tg = vrdf_apps::fig1_pair();
+    let constraint = vrdf_core::ThroughputConstraint::on_sink(Rational::from(3u64)).unwrap();
+    let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
+    let mut sized = tg.clone();
+    analysis.apply(&mut sized);
+
+    let mut config = SimConfig::periodic(constraint, Rational::new(-3, 2));
+    config.max_endpoint_firings = 50;
+    config.stop_on_violation = false;
+    config.trace = TraceLevel::All;
+    run_both(
+        &sized,
+        &QuantumPlan::uniform(QuantumPolicy::Max),
+        &config,
+        "negative offset",
+    );
+}
+
+#[test]
+fn horizon_mode_is_identical_across_engines() {
+    let tg = mp3_chain();
+    let constraint = mp3_constraint();
+    let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
+    let mut sized = tg.clone();
+    analysis.apply(&mut sized);
+
+    let mut config = SimConfig::self_timed(constraint);
+    config.max_endpoint_firings = u64::MAX;
+    config.max_time = Some(Rational::new(1, 2)); // half a second of audio
+    config.trace = TraceLevel::Endpoint;
+    run_both(
+        &sized,
+        &QuantumPlan::random(7),
+        &config,
+        "mp3 horizon-bounded",
+    );
+}
