@@ -1,0 +1,72 @@
+//! Minimal-capacity search on the MP3 chain: prints how far the paper's
+//! Eq. (4) capacities sit above the operational minima the scenario
+//! battery can actually distinguish.
+//!
+//! ```console
+//! $ cargo run --release -p vrdf-apps --bin minimize
+//! $ cargo run --release -p vrdf-apps --bin minimize -- --firings 60000 --random-runs 8
+//! ```
+//!
+//! Exits non-zero when the Eq. (4) baseline itself fails validation
+//! (which would make every reported minimum vacuous).
+
+use vrdf_apps::{mp3_chain, mp3_constraint, MP3_PUBLISHED_CAPACITIES};
+use vrdf_core::compute_buffer_capacities;
+use vrdf_sim::{minimize_capacities, SearchOptions};
+
+fn parse<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
+    match value.as_deref().map(str::parse) {
+        Some(Ok(v)) => v,
+        Some(Err(_)) => {
+            eprintln!(
+                "error: {flag} got a malformed value {:?}",
+                value.as_deref().unwrap_or_default()
+            );
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!("error: {flag} requires a value");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let mut opts = SearchOptions::default();
+    opts.validation.endpoint_firings = 30_000;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--firings" => opts.validation.endpoint_firings = parse(args.next(), "--firings"),
+            "--random-runs" => opts.validation.random_runs = parse(args.next(), "--random-runs"),
+            "--threads" => opts.validation.threads = parse(args.next(), "--threads"),
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!("usage: minimize [--firings N] [--random-runs N] [--threads N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let tg = mp3_chain();
+    let analysis =
+        compute_buffer_capacities(&tg, mp3_constraint()).expect("the MP3 chain is feasible");
+    let computed: Vec<u64> = analysis.capacities().iter().map(|c| c.capacity).collect();
+    assert_eq!(
+        computed,
+        MP3_PUBLISHED_CAPACITIES.to_vec(),
+        "Eq. (4) must reproduce the published Section 5 capacities"
+    );
+
+    println!(
+        "MP3 playback chain: Eq. (4) vs operational minima \
+         ({} endpoint firings per scenario)",
+        opts.validation.endpoint_firings
+    );
+    let report = minimize_capacities(&tg, &analysis, &opts).expect("the search constructs");
+    print!("{report}");
+    if !report.baseline_clear {
+        eprintln!("error: the Eq. (4) baseline failed validation; minima are vacuous");
+        std::process::exit(1);
+    }
+}

@@ -113,6 +113,15 @@ pub mod synthetic {
         /// Allow 0 in consumption sets (sink-constrained chains only
         /// support it there).
         pub allow_zero_consumption: bool,
+        /// When `Some(n)`, generated response times are snapped *down*
+        /// onto the grid `τ/n` at generation time, bounding the tick
+        /// clock's denominator LCM by `den(τ)·n` regardless of chain
+        /// length.  Unlike [`quantize_response_times`] — which must round
+        /// *up* because it models an existing chain conservatively —
+        /// flooring here is sound: the snapped value is still below the
+        /// task's bound `φ(v)`, so it simply picks a different random
+        /// feasible chain.
+        pub rho_grid_subdivision: Option<u64>,
     }
 
     impl Default for ChainSpec {
@@ -123,6 +132,7 @@ pub mod synthetic {
                 max_quantum: 8,
                 max_set_len: 4,
                 allow_zero_consumption: true,
+                rho_grid_subdivision: None,
             }
         }
     }
@@ -148,8 +158,8 @@ pub mod synthetic {
     /// # Panics
     ///
     /// Panics on a degenerate [`ChainSpec`] (`min_tasks < 2`,
-    /// `min_tasks > max_tasks`, `max_quantum == 0`, or
-    /// `max_set_len == 0`).
+    /// `min_tasks > max_tasks`, `max_quantum == 0`, `max_set_len == 0`,
+    /// or `rho_grid_subdivision == Some(0)`).
     ///
     /// # Examples
     ///
@@ -168,9 +178,10 @@ pub mod synthetic {
             2 <= spec.min_tasks
                 && spec.min_tasks <= spec.max_tasks
                 && spec.max_quantum >= 1
-                && spec.max_set_len >= 1,
+                && spec.max_set_len >= 1
+                && spec.rho_grid_subdivision != Some(0),
             "degenerate ChainSpec: need 2 <= min_tasks <= max_tasks, \
-             max_quantum >= 1, max_set_len >= 1"
+             max_quantum >= 1, max_set_len >= 1, rho_grid_subdivision >= 1"
         );
         let mut rng = Rng::new(seed);
         let n = rng.range(spec.min_tasks as u64, spec.max_tasks as u64) as usize;
@@ -189,7 +200,8 @@ pub mod synthetic {
     /// # Panics
     ///
     /// Panics when `len < 2` or on a degenerate [`ChainSpec`]
-    /// (`max_quantum == 0` or `max_set_len == 0`).
+    /// (`max_quantum == 0`, `max_set_len == 0`, or
+    /// `rho_grid_subdivision == Some(0)`).
     ///
     /// # Examples
     ///
@@ -205,8 +217,12 @@ pub mod synthetic {
         spec: &ChainSpec,
     ) -> Result<(TaskGraph, ThroughputConstraint), AnalysisError> {
         assert!(
-            len >= 2 && spec.max_quantum >= 1 && spec.max_set_len >= 1,
-            "degenerate request: need len >= 2, max_quantum >= 1, max_set_len >= 1"
+            len >= 2
+                && spec.max_quantum >= 1
+                && spec.max_set_len >= 1
+                && spec.rho_grid_subdivision != Some(0),
+            "degenerate request: need len >= 2, max_quantum >= 1, \
+             max_set_len >= 1, rho_grid_subdivision >= 1"
         );
         chain_of_length(&mut Rng::new(seed), len, spec)
     }
@@ -235,16 +251,27 @@ pub mod synthetic {
         let phis: Vec<Rational> = chain.tasks().iter().map(|&t| rates.phi(t)).collect();
 
         // Phase 2: the real chain, each response time a random fraction
-        // (0 to 1) of its bound — always feasible.
+        // (0 to 1) of its bound — always feasible.  With a grid
+        // subdivision configured, snap each time down onto it (still
+        // below the bound, so feasibility is preserved).
         let mut fracs = Vec::with_capacity(n);
         for _ in 0..n {
             fracs.push(Rational::new(rng.range(0, 8) as i128, 8));
         }
-        let tg = build(n, &buffers, |i| phis[i] * fracs[i])?;
+        let grid = spec
+            .rho_grid_subdivision
+            .map(|subdivision| tau / Rational::from(subdivision));
+        let tg = build(n, &buffers, |i| {
+            let rho = phis[i] * fracs[i];
+            match grid {
+                Some(g) => g * Rational::from((rho / g).floor()),
+                None => rho,
+            }
+        })?;
         Ok((tg, constraint))
     }
 
-    /// Rounds every response time *down* to a multiple of `grid` and
+    /// Rounds every response time *up* to a multiple of `grid` and
     /// returns the rebuilt chain (names, quanta, and capacities
     /// preserved).
     ///
@@ -253,8 +280,14 @@ pub mod synthetic {
     /// past what `vrdf_sim`'s integer rescaling accepts
     /// ([`vrdf_sim` rejects it gracefully]).  Snapping response times to
     /// one shared grid bounds the LCM by `den(grid)` regardless of chain
-    /// length.  Rounding down can only shorten response times, so a
-    /// feasible chain stays feasible.
+    /// length.  Rounding *up* keeps the quantized model conservative: by
+    /// VRDF monotonicity a longer response time can only increase the
+    /// computed capacities and delays, so capacities derived from the
+    /// quantized chain remain sufficient for the original.  (Rounding
+    /// down would be optimistic — and would collapse any response time
+    /// below the grid to zero.)  The flip side: a response time within
+    /// one grid step of its bound `φ(v)` can make the quantized chain
+    /// infeasible, so pick a grid with slack against the tightest task.
     ///
     /// [`vrdf_sim` rejects it gracefully]: https://docs.rs/vrdf-sim
     ///
@@ -274,7 +307,7 @@ pub mod synthetic {
         let mut out = TaskGraph::new();
         let mut ids = Vec::with_capacity(tg.task_count());
         for (_, task) in tg.tasks() {
-            let steps = (task.response_time() / grid).floor();
+            let steps = (task.response_time() / grid).ceil();
             ids.push(out.add_task(task.name(), grid * Rational::from(steps))?);
         }
         for (_, buffer) in tg.buffers() {
@@ -364,24 +397,112 @@ mod tests {
     }
 
     #[test]
-    fn quantized_long_chains_stay_feasible_on_a_small_clock() {
+    fn quantized_long_chains_are_conservative_on_a_small_clock() {
+        use vrdf_core::AnalysisOptions;
         let spec = synthetic::ChainSpec::default();
         let (tg, constraint) = synthetic::random_chain_of_length(42, 64, &spec).unwrap();
         let grid = constraint.period() / Rational::from(1024u64);
         let quantized = synthetic::quantize_response_times(&tg, grid).unwrap();
         assert_eq!(quantized.task_count(), tg.task_count());
-        // Rounding down never grows a response time.
+        // Rounding up never shrinks a response time (the conservative
+        // direction), and overshoots by less than one grid step.
         for ((_, q), (_, orig)) in quantized.tasks().zip(tg.tasks()) {
-            assert!(q.response_time() <= orig.response_time());
+            assert!(q.response_time() >= orig.response_time());
+            assert!(q.response_time() < orig.response_time() + grid);
         }
-        // The quantized chain is analysable, and its denominators now
-        // share the one grid.
-        assert!(compute_buffer_capacities(&quantized, constraint).is_ok());
+        // The denominators now share the one grid.
         let mut lcm: i128 = 1;
         for (_, task) in quantized.tasks() {
             lcm = task.response_time().lcm_den(lcm).unwrap();
         }
         assert!(lcm <= grid.denom());
+        // Conservatism (the point of rounding up): per buffer, the
+        // quantized chain never computes a *smaller* capacity than the
+        // original — its capacities stay sufficient for the real chain.
+        // Tasks at their bound (ρ == φ) step past it under ceil, so the
+        // analyses run without feasibility enforcement.
+        let lenient = AnalysisOptions {
+            enforce_feasibility: false,
+            ..AnalysisOptions::default()
+        };
+        let original = vrdf_core::compute_buffer_capacities_with(&tg, constraint, lenient).unwrap();
+        let conservative =
+            vrdf_core::compute_buffer_capacities_with(&quantized, constraint, lenient).unwrap();
+        for (q, orig) in conservative.capacities().iter().zip(original.capacities()) {
+            assert!(
+                q.capacity >= orig.capacity,
+                "{}: quantized capacity {} below original {}",
+                q.name,
+                q.capacity,
+                orig.capacity
+            );
+        }
+    }
+
+    #[test]
+    fn grid_generated_chains_are_feasible_on_a_bounded_clock() {
+        // The generation-time grid: chains come out feasible *and* with a
+        // bounded tick-clock LCM, with no post-hoc quantization step.
+        let spec = synthetic::ChainSpec {
+            rho_grid_subdivision: Some(1024),
+            ..synthetic::ChainSpec::default()
+        };
+        for len in [8, 64] {
+            let (tg, constraint) = synthetic::random_chain_of_length(42, len, &spec).unwrap();
+            assert!(compute_buffer_capacities(&tg, constraint).is_ok());
+            let grid_den = (constraint.period() / Rational::from(1024u64)).denom();
+            let mut lcm: i128 = 1;
+            for (_, task) in tg.tasks() {
+                lcm = task.response_time().lcm_den(lcm).unwrap();
+            }
+            assert!(lcm <= grid_den, "len {len}: LCM {lcm} over {grid_den}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rho_grid_subdivision")]
+    fn zero_grid_subdivision_is_rejected_up_front() {
+        let spec = synthetic::ChainSpec {
+            rho_grid_subdivision: Some(0),
+            ..synthetic::ChainSpec::default()
+        };
+        let _ = synthetic::random_chain_of_length(1, 4, &spec);
+    }
+
+    #[test]
+    fn quantization_rounds_sub_grid_response_times_up_not_to_zero() {
+        // Regression: flooring collapsed any rho below the grid to a zero
+        // response time — an *optimistic* model whose capacities need not
+        // hold for the real chain.  Ceil must land on one full grid step.
+        let grid = Rational::new(1, 100);
+        let mut tg = TaskGraph::new();
+        let sub = tg.add_task("sub", grid / Rational::from(10u64)).unwrap();
+        let exact = tg.add_task("exact", grid * Rational::from(3u64)).unwrap();
+        let zero = tg.add_task("zero", Rational::ZERO).unwrap();
+        tg.connect(
+            "b0",
+            sub,
+            exact,
+            QuantumSet::constant(2),
+            QuantumSet::constant(1),
+        )
+        .unwrap();
+        tg.connect(
+            "b1",
+            exact,
+            zero,
+            QuantumSet::constant(1),
+            QuantumSet::constant(1),
+        )
+        .unwrap();
+
+        let quantized = synthetic::quantize_response_times(&tg, grid).unwrap();
+        let rho = |g: &TaskGraph, name: &str| g.task(g.task_by_name(name).unwrap()).response_time();
+        // rho < grid rounds up to the grid, never down to zero.
+        assert_eq!(rho(&quantized, "sub"), grid);
+        // Exact multiples and true zeros are fixed points.
+        assert_eq!(rho(&quantized, "exact"), grid * Rational::from(3u64));
+        assert_eq!(rho(&quantized, "zero"), Rational::ZERO);
     }
 
     #[test]

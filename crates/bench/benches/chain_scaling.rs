@@ -9,9 +9,9 @@
 //! $ cargo bench -p vrdf-bench --bench chain_scaling
 //! ```
 
-use vrdf_apps::synthetic::{quantize_response_times, random_chain_of_length, ChainSpec};
+use vrdf_apps::synthetic::{random_chain_of_length, ChainSpec};
 use vrdf_bench::{emit, time_per_iteration, BenchOpts};
-use vrdf_core::{compute_buffer_capacities, Rational};
+use vrdf_core::compute_buffer_capacities;
 use vrdf_sim::{QuantumPlan, QuantumPolicy, SimConfig, Simulator};
 
 fn main() {
@@ -21,17 +21,19 @@ fn main() {
     } else {
         &[4, 8, 16, 32, 64]
     };
-    let spec = ChainSpec::default();
+    // Long random chains accumulate denominators along the φ propagation;
+    // the generation-time grid keeps the tick clock in range at every
+    // length while preserving feasibility (post-hoc ceil quantization
+    // would be conservative but can step a tight task past its bound).
+    let spec = ChainSpec {
+        rho_grid_subdivision: Some(1024),
+        ..ChainSpec::default()
+    };
     let firings = opts.scale(2_000, 50);
 
     for &len in lengths {
-        let (raw, constraint) =
+        let (tg, constraint) =
             random_chain_of_length(42, len, &spec).expect("generator yields a valid chain");
-        // Long random chains accumulate denominators along the φ
-        // propagation; snap response times to a shared grid so the tick
-        // clock stays in range at every length.
-        let grid = constraint.period() / Rational::from(1024u64);
-        let tg = quantize_response_times(&raw, grid).expect("rebuild succeeds");
         let analysis =
             compute_buffer_capacities(&tg, constraint).expect("generated chains are feasible");
         let mut sized = tg.clone();

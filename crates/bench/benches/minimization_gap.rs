@@ -1,0 +1,64 @@
+//! Wall-clock and probe cost of the minimal-capacity search on the MP3
+//! chain, plus the Eq. (4) vs operational-minimum gap it lands on
+//! (`d3`: 882 computed, 881 operational under exact-handoff semantics).
+//!
+//! ```console
+//! $ cargo bench -p vrdf-bench --bench minimization_gap
+//! ```
+
+use vrdf_apps::{mp3_chain, mp3_constraint};
+use vrdf_bench::{emit, time_per_iteration, BenchOpts};
+use vrdf_core::compute_buffer_capacities;
+use vrdf_sim::{minimize_capacities, SearchOptions, ValidationOptions};
+
+fn main() {
+    let opts = BenchOpts::from_args(1, 5);
+    let tg = mp3_chain();
+    let analysis =
+        compute_buffer_capacities(&tg, mp3_constraint()).expect("the MP3 chain is feasible");
+    // 30k endpoint firings per scenario distinguish d3 = 881 from 880;
+    // --smoke shrinks the horizon to prove the bench runs (the minima it
+    // lands on then carry no meaning).
+    let firings = opts.scale(30_000, 1_000);
+    let search = SearchOptions {
+        validation: ValidationOptions {
+            endpoint_firings: firings,
+            ..ValidationOptions::default()
+        },
+        ..SearchOptions::default()
+    };
+
+    // One untimed run pins the gap table the timed runs reproduce (the
+    // search is deterministic).
+    let report = minimize_capacities(&tg, &analysis, &search).expect("the search constructs");
+    assert!(report.baseline_clear, "{report}");
+    if !opts.smoke {
+        let d3 = tg.buffer_by_name("d3").unwrap();
+        assert_eq!(
+            report.minimum_of(d3).unwrap().minimal,
+            881,
+            "the headline MP3 gap moved\n{report}"
+        );
+    }
+
+    let m = time_per_iteration(opts.warmup, opts.iterations, || {
+        let timed = minimize_capacities(&tg, &analysis, &search).expect("the search constructs");
+        std::hint::black_box(timed.probes);
+    });
+
+    let mut extras: Vec<(String, f64)> = vec![
+        ("endpoint_firings".into(), firings as f64),
+        ("total_assigned".into(), report.total_assigned() as f64),
+        ("total_minimal".into(), report.total_minimal() as f64),
+        ("total_gap".into(), report.total_gap() as f64),
+        ("probes".into(), f64::from(report.probes)),
+        ("probes_passed".into(), f64::from(report.probes_passed)),
+        ("passes".into(), f64::from(report.passes)),
+    ];
+    for e in &report.edges {
+        extras.push((format!("{}_minimal", e.name), e.minimal as f64));
+        extras.push((format!("{}_gap", e.name), e.gap() as f64));
+    }
+    let extra_refs: Vec<(&str, f64)> = extras.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    emit("minimization_gap", "mp3", &m, &extra_refs);
+}

@@ -169,6 +169,22 @@ impl ChainAnalysis {
             tg.set_capacity(c.buffer, c.capacity);
         }
     }
+
+    /// A clone of `tg` carrying this analysis' capacities, with the given
+    /// per-buffer overrides applied on top — the probe constructor for
+    /// capacity-search drivers and falsification experiments.
+    ///
+    /// Overrides may name any buffer of the graph (later entries win) and
+    /// leave every other buffer at its computed capacity; the input graph
+    /// is untouched.
+    pub fn with_capacities(&self, tg: &TaskGraph, overrides: &[(BufferId, u64)]) -> TaskGraph {
+        let mut sized = tg.clone();
+        self.apply(&mut sized);
+        for &(buffer, capacity) in overrides {
+            sized.set_capacity(buffer, capacity);
+        }
+        sized
+    }
 }
 
 /// Computes sufficient buffer capacities for a chain-shaped task graph
@@ -470,6 +486,24 @@ mod tests {
             tg.buffer(tg.buffer_by_name("d1").unwrap()).capacity(),
             Some(6015)
         );
+    }
+
+    #[test]
+    fn with_capacities_overrides_single_edges() {
+        let tg = mp3_task_graph();
+        let analysis =
+            compute_buffer_capacities(&tg, ThroughputConstraint::on_sink(rat(1, 44100)).unwrap())
+                .unwrap();
+        let d3 = tg.buffer_by_name("d3").unwrap();
+        let probe = analysis.with_capacities(&tg, &[(d3, 881)]);
+        // The override lands; every other buffer keeps its computed value.
+        assert_eq!(probe.buffer(d3).capacity(), Some(881));
+        let d1 = tg.buffer_by_name("d1").unwrap();
+        assert_eq!(probe.buffer(d1).capacity(), Some(6015));
+        // Later overrides win, and the input graph is untouched.
+        let probe = analysis.with_capacities(&tg, &[(d3, 881), (d3, 880)]);
+        assert_eq!(probe.buffer(d3).capacity(), Some(880));
+        assert_eq!(tg.buffer(d3).capacity(), None);
     }
 
     #[test]

@@ -91,7 +91,9 @@ pub struct SimConfig {
     /// Stop before processing any event later than this time.
     pub max_time: Option<Rational>,
     /// Hard cap on processed events, guarding against zero-response-time
-    /// livelock.
+    /// livelock.  Enforced exactly: a run never processes more than this
+    /// many events, and ends with [`SimOutcome::EventBudgetExhausted`]
+    /// the moment one more event is due with the budget spent.
     pub max_events: u64,
     /// Firing-history retention.
     pub trace: TraceLevel,
@@ -435,6 +437,8 @@ pub struct Simulator<'a> {
     violations: Vec<Violation>,
     trace: Vec<TickRecord>,
     events_processed: u64,
+    /// Set when an event was due but the budget was already spent.
+    budget_exhausted: bool,
     now: i128,
     /// Tasks whose enable condition may have changed since last checked;
     /// only these are re-examined when settling an instant.
@@ -566,6 +570,7 @@ impl<'a> Simulator<'a> {
             violations: Vec::new(),
             trace: Vec::new(),
             events_processed: 0,
+            budget_exhausted: false,
             now: 0,
             dirty,
             first_start: None,
@@ -775,11 +780,18 @@ impl<'a> Simulator<'a> {
     }
 
     /// Pops and applies every event scheduled exactly at `self.now` in one
-    /// batch; returns whether anything was processed.
+    /// batch; returns whether anything was processed.  Stops early —
+    /// flagging `budget_exhausted` — when another event is due but the
+    /// budget is already spent, so no run ever processes more than
+    /// [`SimConfig::max_events`] events.
     fn drain_events_at_now(&mut self) -> bool {
         let mut any = false;
         while let Some(event) = self.heap.peek() {
             if event.time != self.now {
+                break;
+            }
+            if self.events_processed >= self.config.max_events {
+                self.budget_exhausted = true;
                 break;
             }
             let event = self.heap.pop().expect("peeked");
@@ -888,10 +900,10 @@ impl<'a> Simulator<'a> {
             // task starts until neither makes progress.
             loop {
                 let drained = self.drain_events_at_now();
-                let started = self.try_starts();
-                if self.events_processed > self.config.max_events {
+                if self.budget_exhausted {
                     return SimOutcome::EventBudgetExhausted;
                 }
+                let started = self.try_starts();
                 if !drained && !started {
                     break;
                 }
@@ -1087,6 +1099,41 @@ mod tests {
             .unwrap()
             .run();
         assert_eq!(report.outcome, SimOutcome::EventBudgetExhausted);
+        // The budget is exact: not one event more than allowed.
+        assert_eq!(report.events_processed, 5_000);
+    }
+
+    #[test]
+    fn event_budget_is_enforced_exactly_at_the_boundary() {
+        // Count the events of a completing run, then pin the budget to
+        // that count (the run still completes) and to one below (the run
+        // exhausts having processed exactly the budget, never more).
+        let (tg, constraint) = fig1_graph(5);
+        let mut config = SimConfig::self_timed(constraint);
+        config.max_endpoint_firings = 50;
+        let run = |config: &SimConfig| {
+            Simulator::new(
+                &tg,
+                QuantumPlan::uniform(QuantumPolicy::Max),
+                config.clone(),
+            )
+            .unwrap()
+            .run()
+        };
+        let full = run(&config);
+        assert_eq!(full.outcome, SimOutcome::Completed);
+        let events = full.events_processed;
+        assert!(events > 1);
+
+        config.max_events = events;
+        let exact = run(&config);
+        assert_eq!(exact.outcome, SimOutcome::Completed);
+        assert_eq!(exact.events_processed, events);
+
+        config.max_events = events - 1;
+        let starved = run(&config);
+        assert_eq!(starved.outcome, SimOutcome::EventBudgetExhausted);
+        assert_eq!(starved.events_processed, events - 1);
     }
 
     #[test]

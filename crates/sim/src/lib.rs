@@ -20,6 +20,9 @@
 //!   paper's sufficiency theorem: replay arbitrary admissible quantum
 //!   scenarios against the capacities the analysis computed and confirm
 //!   strict periodicity is never violated.
+//! * [`search`] — [`minimize_capacities`], a minimal-capacity search
+//!   driver on top of the oracle: per-edge binary search plus coordinate
+//!   descent measuring how far Eq. (4) sits above the operational minima.
 //!
 //! ## Quick start
 //!
@@ -50,6 +53,7 @@
 pub mod engine;
 pub mod policy;
 pub mod reference;
+pub mod search;
 pub mod validate;
 
 pub use engine::{
@@ -58,9 +62,10 @@ pub use engine::{
 };
 pub use policy::{splitmix64, CompiledQuantum, QuantumPlan, QuantumPolicy, Side};
 pub use reference::ReferenceSimulator;
+pub use search::{minimize_capacities, EdgeMinimum, MinimizationReport, SearchOptions};
 pub use validate::{
     conservative_offset, measure_drift, validate_assigned_capacities, validate_capacities,
-    ScenarioResult, ValidationOptions, ValidationReport,
+    OccupancyBreach, ScenarioResult, ValidationOptions, ValidationReport,
 };
 
 use std::fmt;

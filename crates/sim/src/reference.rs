@@ -99,6 +99,8 @@ pub struct ReferenceSimulator<'a> {
     violations: Vec<Violation>,
     trace: Vec<FiringRecord>,
     events_processed: u64,
+    /// Set when an event was due but the budget was already spent.
+    budget_exhausted: bool,
     now: Rational,
     first_start: Option<Rational>,
     last_start: Option<Rational>,
@@ -173,6 +175,7 @@ impl<'a> ReferenceSimulator<'a> {
             violations: Vec::new(),
             trace: Vec::new(),
             events_processed: 0,
+            budget_exhausted: false,
             now: Rational::ZERO,
             first_start: None,
             last_start: None,
@@ -366,6 +369,10 @@ impl<'a> ReferenceSimulator<'a> {
             if event.time != self.now {
                 break;
             }
+            if self.events_processed >= self.config.max_events {
+                self.budget_exhausted = true;
+                break;
+            }
             let event = self.heap.pop().expect("peeked");
             self.events_processed += 1;
             any = true;
@@ -452,10 +459,10 @@ impl<'a> ReferenceSimulator<'a> {
         loop {
             loop {
                 let drained = self.drain_events_at_now();
-                let started = self.try_starts();
-                if self.events_processed > self.config.max_events {
+                if self.budget_exhausted {
                     return SimOutcome::EventBudgetExhausted;
                 }
+                let started = self.try_starts();
                 if !drained && !started {
                     break;
                 }

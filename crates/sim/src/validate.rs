@@ -66,6 +66,46 @@ impl Default for ValidationOptions {
     }
 }
 
+/// A buffer whose recorded high-water occupancy exceeded its capacity —
+/// impossible under correct container accounting, so any instance is an
+/// engine bug, not a property of the scenario.  Checked unconditionally
+/// (not a `debug_assert!`) because validation and the capacity search run
+/// in release builds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OccupancyBreach {
+    /// The offending buffer's name.
+    pub buffer: String,
+    /// The recorded high-water mark of containers in use.
+    pub max_occupancy: u64,
+    /// The capacity `ζ(b)` the run was configured with.
+    pub capacity: u64,
+}
+
+impl fmt::Display for OccupancyBreach {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "buffer `{}` reached occupancy {} over capacity {}",
+            self.buffer, self.max_occupancy, self.capacity
+        )
+    }
+}
+
+/// Every occupancy > capacity breach recorded in a report's buffer
+/// statistics.
+fn occupancy_breaches(report: &SimReport) -> Vec<OccupancyBreach> {
+    report
+        .buffers
+        .iter()
+        .filter(|b| b.max_occupancy > b.capacity)
+        .map(|b| OccupancyBreach {
+            buffer: b.name.clone(),
+            max_occupancy: b.max_occupancy,
+            capacity: b.capacity,
+        })
+        .collect()
+}
+
 /// The result of replaying one quantum scenario.
 #[derive(Clone, Debug)]
 pub struct ScenarioResult {
@@ -73,12 +113,26 @@ pub struct ScenarioResult {
     pub name: String,
     /// The full simulation report of the scenario.
     pub report: SimReport,
+    /// Occupancy ≤ capacity accounting breaches (always empty unless the
+    /// engine itself is broken); a non-empty list fails the scenario.
+    pub occupancy_breaches: Vec<OccupancyBreach>,
 }
 
 impl ScenarioResult {
-    /// `true` when the scenario completed with zero violations.
+    /// Wraps a finished report, running the occupancy ≤ capacity audit.
+    pub fn from_report(name: String, report: SimReport) -> ScenarioResult {
+        let occupancy_breaches = occupancy_breaches(&report);
+        ScenarioResult {
+            name,
+            report,
+            occupancy_breaches,
+        }
+    }
+
+    /// `true` when the scenario completed with zero violations and clean
+    /// container accounting.
     pub fn passed(&self) -> bool {
-        self.report.ok()
+        self.report.ok() && self.occupancy_breaches.is_empty()
     }
 
     /// The first violation, if any.
@@ -124,6 +178,11 @@ impl fmt::Display for ValidationReport {
                     f,
                     "  {:<12} ok ({} endpoint firings)",
                     s.name, s.report.endpoint.firings
+                )?,
+                None if !s.occupancy_breaches.is_empty() => writeln!(
+                    f,
+                    "  {:<12} FAILED (engine accounting): {}",
+                    s.name, s.occupancy_breaches[0]
                 )?,
                 None => writeln!(f, "  {:<12} FAILED: {:?}", s.name, s.report.outcome)?,
                 Some(v) => writeln!(f, "  {:<12} FAILED: {v}", s.name)?,
@@ -284,8 +343,7 @@ fn run_scenario(
     config.stop_on_violation = opts.stop_on_violation;
     config.trace = TraceLevel::None;
     let report = Simulator::new(tg, plan, config)?.run();
-    debug_assert!(report.buffers.iter().all(|b| b.max_occupancy <= b.capacity));
-    Ok(ScenarioResult { name, report })
+    Ok(ScenarioResult::from_report(name, report))
 }
 
 /// The worker count to use for `n` scenarios under the configured cap.
@@ -434,6 +492,42 @@ mod tests {
             offset >= drift,
             "conservative offset {offset} below measured drift {drift}"
         );
+    }
+
+    #[test]
+    fn occupancy_breach_fails_the_scenario_in_release_builds_too() {
+        let (tg, constraint) = pair_graph();
+        let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
+        let mut sized = tg.clone();
+        analysis.apply(&mut sized);
+        let mut config = SimConfig::periodic(constraint, conservative_offset(&tg, &analysis));
+        config.max_endpoint_firings = 50;
+        let report = Simulator::new(&sized, QuantumPlan::uniform(QuantumPolicy::Max), config)
+            .unwrap()
+            .run();
+
+        // A healthy run audits clean...
+        let clean = ScenarioResult::from_report("audit".into(), report.clone());
+        assert!(clean.passed());
+        assert!(clean.occupancy_breaches.is_empty());
+
+        // ...and a doctored report — standing in for a capacity-accounting
+        // bug — fails the scenario even though the run itself reported ok.
+        let mut doctored = report;
+        doctored.buffers[0].max_occupancy = doctored.buffers[0].capacity + 1;
+        let broken = ScenarioResult::from_report("audit".into(), doctored);
+        assert!(broken.report.ok(), "the raw report alone would pass");
+        assert!(!broken.passed());
+        assert_eq!(broken.occupancy_breaches.len(), 1);
+        let breach = &broken.occupancy_breaches[0];
+        assert_eq!(breach.max_occupancy, breach.capacity + 1);
+        assert!(breach.to_string().contains("over capacity"));
+        // The failure is visible in the validation summary.
+        let summary = ValidationReport {
+            offset: Rational::ZERO,
+            scenarios: vec![broken],
+        };
+        assert!(summary.to_string().contains("engine accounting"));
     }
 
     #[test]

@@ -165,7 +165,7 @@ fn random_chains_longer_and_wilder_quanta() {
         max_tasks: 7,
         max_quantum: 20,
         max_set_len: 6,
-        allow_zero_consumption: true,
+        ..ChainSpec::default()
     };
     for seed in 100..115 {
         let (tg, constraint) = random_chain(seed, &spec).unwrap();

@@ -214,6 +214,27 @@ fn negative_offset_is_identical_across_engines() {
 }
 
 #[test]
+fn event_budget_exhaustion_is_identical_across_engines() {
+    // Both engines must stop on the same event with the same count when
+    // the budget runs out mid-run.
+    let tg = mp3_chain();
+    let constraint = mp3_constraint();
+    let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
+    let mut sized = tg.clone();
+    analysis.apply(&mut sized);
+
+    let mut config = SimConfig::self_timed(constraint);
+    config.max_endpoint_firings = u64::MAX;
+    config.max_events = 1_234;
+    run_both(
+        &sized,
+        &QuantumPlan::uniform(QuantumPolicy::Max),
+        &config,
+        "budget exhaustion",
+    );
+}
+
+#[test]
 fn horizon_mode_is_identical_across_engines() {
     let tg = mp3_chain();
     let constraint = mp3_constraint();
