@@ -1,16 +1,21 @@
-//! Minimal-capacity search on the MP3 chain: prints how far the paper's
-//! Eq. (4) capacities sit above the operational minima the scenario
-//! battery can actually distinguish.
+//! Minimal-capacity search on the bundled case studies: prints how far
+//! the generalized Eq. (4) capacities sit above the operational minima
+//! the scenario battery can actually distinguish, edge by edge.
 //!
 //! ```console
 //! $ cargo run --release -p vrdf-apps --bin minimize
+//! $ cargo run --release -p vrdf-apps --bin minimize -- --graph fork-join
 //! $ cargo run --release -p vrdf-apps --bin minimize -- --firings 60000 --random-runs 8
 //! ```
+//!
+//! `--graph mp3` (default) searches the paper's MP3 playback chain;
+//! `--graph fork-join` searches the stereo demux → per-channel decoders
+//! → mux variant, the first workload past the chain restriction.
 //!
 //! Exits non-zero when the Eq. (4) baseline itself fails validation
 //! (which would make every reported minimum vacuous).
 
-use vrdf_apps::{mp3_chain, mp3_constraint, MP3_PUBLISHED_CAPACITIES};
+use vrdf_apps::{mp3_chain, mp3_constraint, mp3_fork_join, MP3_PUBLISHED_CAPACITIES};
 use vrdf_core::compute_buffer_capacities;
 use vrdf_sim::{minimize_capacities, SearchOptions};
 
@@ -34,32 +39,46 @@ fn parse<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
 fn main() {
     let mut opts = SearchOptions::default();
     opts.validation.endpoint_firings = 30_000;
+    let mut graph = "mp3".to_owned();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--graph" => graph = parse(args.next(), "--graph"),
             "--firings" => opts.validation.endpoint_firings = parse(args.next(), "--firings"),
             "--random-runs" => opts.validation.random_runs = parse(args.next(), "--random-runs"),
             "--threads" => opts.validation.threads = parse(args.next(), "--threads"),
             other => {
                 eprintln!("error: unknown argument `{other}`");
-                eprintln!("usage: minimize [--firings N] [--random-runs N] [--threads N]");
+                eprintln!(
+                    "usage: minimize [--graph mp3|fork-join] [--firings N] \
+                     [--random-runs N] [--threads N]"
+                );
                 std::process::exit(2);
             }
         }
     }
 
-    let tg = mp3_chain();
+    let (tg, label) = match graph.as_str() {
+        "mp3" => (mp3_chain(), "MP3 playback chain"),
+        "fork-join" | "forkjoin" => (mp3_fork_join(), "MP3 stereo fork/join graph"),
+        other => {
+            eprintln!("error: unknown graph `{other}` (expected `mp3` or `fork-join`)");
+            std::process::exit(2);
+        }
+    };
     let analysis =
-        compute_buffer_capacities(&tg, mp3_constraint()).expect("the MP3 chain is feasible");
-    let computed: Vec<u64> = analysis.capacities().iter().map(|c| c.capacity).collect();
-    assert_eq!(
-        computed,
-        MP3_PUBLISHED_CAPACITIES.to_vec(),
-        "Eq. (4) must reproduce the published Section 5 capacities"
-    );
+        compute_buffer_capacities(&tg, mp3_constraint()).expect("the case studies are feasible");
+    if graph == "mp3" {
+        let computed: Vec<u64> = analysis.capacities().iter().map(|c| c.capacity).collect();
+        assert_eq!(
+            computed,
+            MP3_PUBLISHED_CAPACITIES.to_vec(),
+            "Eq. (4) must reproduce the published Section 5 capacities"
+        );
+    }
 
     println!(
-        "MP3 playback chain: Eq. (4) vs operational minima \
+        "{label}: Eq. (4) vs operational minima \
          ({} endpoint firings per scenario)",
         opts.validation.endpoint_firings
     );

@@ -1,8 +1,9 @@
-//! # vrdf-apps — ready-made application chains
+//! # vrdf-apps — ready-made application graphs
 //!
 //! Concrete workloads for tests and benchmarks: the paper's MP3 playback
-//! case study (Section 5) and a seeded generator of random feasible
-//! chains for property-style cross-validation.
+//! case study (Section 5), a fork/join variant of it (stereo demux →
+//! per-channel decoders → mux), and seeded generators of random feasible
+//! chains and fork/join DAGs for property-style cross-validation.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -54,6 +55,66 @@ pub fn mp3_chain() -> TaskGraph {
 /// periodically at 44.1 kHz.
 pub fn mp3_constraint() -> ThroughputConstraint {
     ThroughputConstraint::on_sink(Rational::new(1, 44_100)).expect("positive period")
+}
+
+/// A fork/join stereo variant of the MP3 case study — the first workload
+/// past the paper's Section 3.1 chain restriction.
+///
+/// The CD block reader feeds a demultiplexer that splits the compressed
+/// stream into two channel streams; each channel is converted by its own
+/// decoder, and an interleaver (`vMux`) joins them back in front of the
+/// DAC:
+///
+/// ```text
+///            ┌─ dL ─ vL ─ mL ─┐
+/// vBR ─ d1 ─ vDemux           vMux ─ d3 ─ vDAC
+///            └─ dR ─ vR ─ mR ─┘
+/// ```
+///
+/// Rates mirror the MP3 chain: `vDemux` decodes a frame every 24 ms
+/// (1152 samples per channel), the per-channel converters run at the
+/// 10 ms cadence of `vSRC`, and the DAC drains one interleaved sample
+/// per 1/44100 s.  A `vDemux` firing needs space on *both* channel
+/// buffers; a `vMux` firing needs data from *both* converters — the
+/// fork/join semantics the general analysis and simulator must handle.
+///
+/// # Examples
+///
+/// ```
+/// use vrdf_core::compute_buffer_capacities;
+///
+/// let tg = vrdf_apps::mp3_fork_join();
+/// let analysis = compute_buffer_capacities(&tg, vrdf_apps::mp3_constraint()).unwrap();
+/// assert_eq!(analysis.capacities().len(), 6);
+/// ```
+pub fn mp3_fork_join() -> TaskGraph {
+    let mut tg = TaskGraph::new();
+    let vbr = tg.add_task("vBR", Rational::new(512, 10_000)).unwrap();
+    let demux = tg.add_task("vDemux", Rational::new(24, 1000)).unwrap();
+    let left = tg.add_task("vL", Rational::new(10, 1000)).unwrap();
+    let right = tg.add_task("vR", Rational::new(10, 1000)).unwrap();
+    let mux = tg.add_task("vMux", Rational::new(1, 1000)).unwrap();
+    let dac = tg.add_task("vDAC", Rational::new(1, 44_100)).unwrap();
+    let constant = QuantumSet::constant;
+    tg.connect(
+        "d1",
+        vbr,
+        demux,
+        constant(2048),
+        QuantumSet::range_inclusive(0, 960).expect("valid range"),
+    )
+    .unwrap();
+    tg.connect("dL", demux, left, constant(1152), constant(480))
+        .unwrap();
+    tg.connect("dR", demux, right, constant(1152), constant(480))
+        .unwrap();
+    tg.connect("mL", left, mux, constant(441), constant(441))
+        .unwrap();
+    tg.connect("mR", right, mux, constant(441), constant(441))
+        .unwrap();
+    tg.connect("d3", mux, dac, constant(441), constant(1))
+        .unwrap();
+    tg
 }
 
 /// The motivating producer–consumer pair of Fig. 1: `wa` produces 3
@@ -346,6 +407,179 @@ pub mod synthetic {
         }
         Ok(tg)
     }
+
+    /// Knobs for [`random_dag`] / [`fork_join_of`].
+    #[derive(Clone, Debug)]
+    pub struct DagSpec {
+        /// Largest number of parallel branches between the fork and the
+        /// join (≥ 1; a width of 1 degenerates to a chain).
+        pub max_width: usize,
+        /// Largest number of tasks per branch (≥ 1).
+        pub max_depth: usize,
+        /// Largest per-edge carry quantum (production and consumption
+        /// constant).
+        pub max_quantum: u64,
+        /// As [`ChainSpec::rho_grid_subdivision`]: snap response times
+        /// *down* onto the grid `τ/n` at generation time, bounding the
+        /// tick clock's denominator LCM.
+        pub rho_grid_subdivision: Option<u64>,
+    }
+
+    impl Default for DagSpec {
+        fn default() -> Self {
+            DagSpec {
+                max_width: 4,
+                max_depth: 3,
+                max_quantum: 8,
+                rho_grid_subdivision: None,
+            }
+        }
+    }
+
+    /// Generates a random sink-constrained **fork/join DAG** that is
+    /// guaranteed feasible: a source forks into 1 to `max_width` parallel
+    /// branches of 1 to `max_depth` tasks each, joined into a single
+    /// sink.  Deterministic in `seed`.
+    ///
+    /// Every edge carries the *same constant* quantum `q` on both sides
+    /// (drawn per edge), so every task's start-interval bound `φ(v)`
+    /// resolves to the sink period `τ` and the branches stay
+    /// rate-balanced across the fork; variability comes from the
+    /// topology and the response times, which are drawn as fractions of
+    /// `τ` so the analysis never rejects the result.
+    ///
+    /// The balance is deliberate, not a shortcut: *independently*
+    /// variable quanta on fork-coupled edges admit scenarios whose
+    /// branch demand rates diverge without bound (a join consumer
+    /// drawing its minimum forever on one branch throttles the shared
+    /// fork ancestor through back-pressure and starves the sibling), so
+    /// no finite capacity assignment exists for them — the oracle
+    /// battery demonstrates this, and it is exactly why the paper states
+    /// the per-pair guarantee for chains.  Data-dependent quantum *sets*
+    /// therefore remain a chain(-segment) feature; see
+    /// `vrdf-sim`'s fork/join tests for the falsification.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from [`TaskGraph`]; with a sane
+    /// [`DagSpec`] this does not happen.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate [`DagSpec`] (zero width, depth, or
+    /// quantum, or `rho_grid_subdivision == Some(0)`).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vrdf_apps::synthetic::{random_dag, DagSpec};
+    /// use vrdf_core::compute_buffer_capacities;
+    ///
+    /// let (tg, constraint) = random_dag(7, &DagSpec::default()).unwrap();
+    /// assert!(compute_buffer_capacities(&tg, constraint).is_ok());
+    /// ```
+    pub fn random_dag(
+        seed: u64,
+        spec: &DagSpec,
+    ) -> Result<(TaskGraph, ThroughputConstraint), AnalysisError> {
+        validate_dag_spec(spec);
+        let mut rng = Rng::new(seed);
+        let width = rng.range(1, spec.max_width as u64) as usize;
+        let depth = rng.range(1, spec.max_depth as u64) as usize;
+        build_fork_join(&mut rng, width, depth, spec)
+    }
+
+    /// Like [`random_dag`] but with an exact fork width and branch depth
+    /// — the knobs the `dag_scaling` benchmark sweeps.  Deterministic in
+    /// `(seed, width, depth)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction errors from [`TaskGraph`]; with a sane
+    /// [`DagSpec`] this does not happen.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `width == 0` or `depth == 0`, or on a degenerate
+    /// [`DagSpec`].
+    pub fn fork_join_of(
+        seed: u64,
+        width: usize,
+        depth: usize,
+        spec: &DagSpec,
+    ) -> Result<(TaskGraph, ThroughputConstraint), AnalysisError> {
+        validate_dag_spec(spec);
+        assert!(width >= 1 && depth >= 1, "need width >= 1 and depth >= 1");
+        build_fork_join(&mut Rng::new(seed), width, depth, spec)
+    }
+
+    fn validate_dag_spec(spec: &DagSpec) {
+        assert!(
+            spec.max_width >= 1
+                && spec.max_depth >= 1
+                && spec.max_quantum >= 1
+                && spec.rho_grid_subdivision != Some(0),
+            "degenerate DagSpec: need max_width >= 1, max_depth >= 1, \
+             max_quantum >= 1, rho_grid_subdivision >= 1"
+        );
+    }
+
+    fn build_fork_join(
+        rng: &mut Rng,
+        width: usize,
+        depth: usize,
+        spec: &DagSpec,
+    ) -> Result<(TaskGraph, ThroughputConstraint), AnalysisError> {
+        let tau = Rational::new(rng.range(1, 12) as i128, rng.range(1, 4) as i128);
+        let constraint = ThroughputConstraint::on_sink(tau)?;
+        let grid = spec
+            .rho_grid_subdivision
+            .map(|subdivision| tau / Rational::from(subdivision));
+        // With every edge carrying the same constant quantum on both
+        // sides, phi(v) = tau for every task; any rho in [0, tau]
+        // (snapped down when a grid is configured) keeps the graph
+        // feasible.
+        let rho = |rng: &mut Rng| {
+            let raw = tau * Rational::new(rng.range(0, 8) as i128, 8);
+            match grid {
+                Some(g) => g * Rational::from((raw / g).floor()),
+                None => raw,
+            }
+        };
+
+        let mut tg = TaskGraph::new();
+        let source = tg.add_task("src", rho(rng))?;
+        let sink_rho = rho(rng);
+        let mut branch_tails = Vec::with_capacity(width);
+        for w in 0..width {
+            let mut upstream = source;
+            for d in 0..depth {
+                let task = tg.add_task(format!("b{w}t{d}"), rho(rng))?;
+                let q = rng.range(1, spec.max_quantum);
+                tg.connect(
+                    format!("b{w}e{d}"),
+                    upstream,
+                    task,
+                    QuantumSet::constant(q),
+                    QuantumSet::constant(q),
+                )?;
+                upstream = task;
+            }
+            branch_tails.push(upstream);
+        }
+        let sink = tg.add_task("snk", sink_rho)?;
+        for (w, tail) in branch_tails.into_iter().enumerate() {
+            let q = rng.range(1, spec.max_quantum);
+            tg.connect(
+                format!("j{w}"),
+                tail,
+                sink,
+                QuantumSet::constant(q),
+                QuantumSet::constant(q),
+            )?;
+        }
+        Ok((tg, constraint))
+    }
 }
 
 #[cfg(test)]
@@ -370,6 +604,85 @@ mod tests {
         // sink's own response time is excluded under the default
         // (Immediate) release convention.
         assert_eq!(analysis.capacities()[0].capacity, 6);
+    }
+
+    #[test]
+    fn fork_join_case_study_mirrors_the_chain_rates() {
+        let tg = mp3_fork_join();
+        let analysis = compute_buffer_capacities(&tg, mp3_constraint()).unwrap();
+        let caps: Vec<(String, u64)> = analysis
+            .capacities()
+            .iter()
+            .map(|c| (c.name.clone(), c.capacity))
+            .collect();
+        // d1 is rate-identical to the MP3 chain's d1 and each channel
+        // buffer to the chain's d2; the per-channel symmetry is exact.
+        assert_eq!(
+            caps,
+            vec![
+                ("d1".to_owned(), 6015),
+                ("dL".to_owned(), 3263),
+                ("dR".to_owned(), 3263),
+                ("mL".to_owned(), 1366),
+                ("mR".to_owned(), 1366),
+                ("d3".to_owned(), 485),
+            ]
+        );
+        assert!(analysis.violations().is_empty());
+        // The demux must keep the 24 ms frame cadence; the converters the
+        // 10 ms cadence of the chain's vSRC.
+        let phi = |name: &str| analysis.rates().phi(tg.task_by_name(name).unwrap());
+        assert_eq!(phi("vDemux"), Rational::new(24, 1000));
+        assert_eq!(phi("vL"), Rational::new(10, 1000));
+        assert_eq!(phi("vR"), Rational::new(10, 1000));
+        assert_eq!(phi("vBR"), Rational::new(512, 10_000));
+    }
+
+    #[test]
+    fn random_dags_are_feasible_and_deterministic() {
+        let spec = synthetic::DagSpec::default();
+        for seed in 0..100 {
+            let (tg, constraint) = synthetic::random_dag(seed, &spec).unwrap();
+            assert!(tg.dag().is_ok(), "seed {seed} built an invalid DAG");
+            let analysis = compute_buffer_capacities(&tg, constraint);
+            assert!(
+                analysis.is_ok(),
+                "seed {seed} produced an infeasible DAG: {:?}",
+                analysis.err()
+            );
+            // Every task's start-interval bound resolves to tau — the
+            // generator's carry-balance invariant.
+            let analysis = analysis.unwrap();
+            for (id, _) in tg.tasks() {
+                assert_eq!(analysis.rates().phi(id), constraint.period());
+            }
+        }
+        let (a, _) = synthetic::random_dag(11, &spec).unwrap();
+        let (b, _) = synthetic::random_dag(11, &spec).unwrap();
+        assert_eq!(a.task_count(), b.task_count());
+        for (id, buffer) in a.buffers() {
+            assert_eq!(buffer.production(), b.buffer(id).production());
+        }
+    }
+
+    #[test]
+    fn fork_join_of_has_exact_shape() {
+        let spec = synthetic::DagSpec::default();
+        for (width, depth) in [(1, 1), (1, 4), (4, 1), (3, 5)] {
+            let (tg, constraint) = synthetic::fork_join_of(9, width, depth, &spec).unwrap();
+            assert_eq!(tg.task_count(), width * depth + 2);
+            assert_eq!(tg.buffer_count(), width * (depth + 1));
+            let dag = tg.dag().unwrap();
+            assert_eq!(dag.sources().len(), 1);
+            assert_eq!(dag.sinks().len(), 1);
+            assert!(compute_buffer_capacities(&tg, constraint).is_ok());
+            if width == 1 {
+                // Width 1 degenerates to a plain chain.
+                assert!(tg.chain().is_ok());
+            } else {
+                assert!(tg.chain().is_err());
+            }
+        }
     }
 
     #[test]

@@ -1,6 +1,7 @@
-//! The buffer-capacity algorithm (Section 4).
+//! The buffer-capacity algorithm (Section 4), generalized from chains to
+//! fork/join DAGs.
 //!
-//! For every buffer of a validated chain the algorithm
+//! For every buffer of a validated task graph the algorithm
 //!
 //! 1. derives the bound rate from the throughput constraint
 //!    ([`RateAssignment`], Sections 4.3–4.4),
@@ -31,7 +32,7 @@ use crate::bounds::PairGaps;
 use crate::error::AnalysisError;
 use crate::rates::{ConstraintLocation, RateAssignment, ThroughputConstraint};
 use crate::rational::Rational;
-use crate::taskgraph::{BufferId, ChainView, TaskGraph, TaskId};
+use crate::taskgraph::{BufferId, DagView, TaskGraph, TaskId};
 
 /// When the strictly periodic (throughput-constrained) actor frees the
 /// containers it consumed.
@@ -109,9 +110,10 @@ pub struct BufferCapacity {
     pub consumer_max_quantum: u64,
 }
 
-/// The complete result of analysing a chain.
+/// The complete result of analysing a task graph (chain or fork/join
+/// DAG).
 #[derive(Clone, Debug)]
-pub struct ChainAnalysis {
+pub struct GraphAnalysis {
     constraint: ThroughputConstraint,
     options: AnalysisOptions,
     capacities: Vec<BufferCapacity>,
@@ -119,8 +121,13 @@ pub struct ChainAnalysis {
     violations: Vec<FeasibilityViolation>,
 }
 
-impl ChainAnalysis {
-    /// Per-buffer capacities in source-to-sink order.
+/// The historical name of [`GraphAnalysis`], from when the analysis was
+/// restricted to chains.
+pub type ChainAnalysis = GraphAnalysis;
+
+impl GraphAnalysis {
+    /// Per-buffer capacities, in the analysed view's buffer order
+    /// (source-to-sink for a chain).
     #[inline]
     pub fn capacities(&self) -> &[BufferCapacity] {
         &self.capacities
@@ -187,15 +194,20 @@ impl ChainAnalysis {
     }
 }
 
-/// Computes sufficient buffer capacities for a chain-shaped task graph
-/// under a throughput constraint, with default [`AnalysisOptions`].
+/// Computes sufficient buffer capacities for a task graph (chain or
+/// fork/join DAG) under a throughput constraint, with default
+/// [`AnalysisOptions`].
 ///
-/// This is the algorithm of the paper; see the module documentation for
+/// This is the algorithm of the paper (stated there for chains),
+/// generalized per edge over the DAG; see the module documentation for
 /// the steps.
 ///
 /// # Errors
 ///
-/// * Chain-topology errors from [`TaskGraph::chain`].
+/// * Topology errors from [`TaskGraph::dag`].
+/// * [`AnalysisError::AmbiguousEndpoint`] when the constrained endpoint
+///   is not unique (several sinks in sink-constrained mode, several
+///   sources in source-constrained mode).
 /// * [`AnalysisError::ConstraintNotOnEndpoint`] is never produced here —
 ///   the constraint's endpoint is implied by its
 ///   [`location`](ThroughputConstraint::location).
@@ -227,7 +239,7 @@ impl ChainAnalysis {
 pub fn compute_buffer_capacities(
     tg: &TaskGraph,
     constraint: ThroughputConstraint,
-) -> Result<ChainAnalysis, AnalysisError> {
+) -> Result<GraphAnalysis, AnalysisError> {
     compute_buffer_capacities_with(tg, constraint, AnalysisOptions::default())
 }
 
@@ -242,13 +254,72 @@ pub fn compute_buffer_capacities_with(
     tg: &TaskGraph,
     constraint: ThroughputConstraint,
     options: AnalysisOptions,
-) -> Result<ChainAnalysis, AnalysisError> {
+) -> Result<GraphAnalysis, AnalysisError> {
+    let dag = tg.dag()?;
+    let rates = RateAssignment::derive_dag(tg, &dag, constraint)?;
+    let constrained_task = match constraint.location() {
+        ConstraintLocation::Sink => dag.unique_sink(tg)?,
+        ConstraintLocation::Source => dag.unique_source(tg)?,
+    };
+    assemble(
+        tg,
+        constraint,
+        options,
+        dag.tasks(),
+        rates,
+        constrained_task,
+    )
+}
+
+/// Like [`compute_buffer_capacities_with`], but through the validated
+/// **chain** special case: [`TaskGraph::chain`] plus the chain rate walk
+/// of [`RateAssignment::derive`].
+///
+/// On any linear graph the result is bit-identical to the general DAG
+/// path (`tests/differential.rs` pins this); the entry exists so that
+/// chain-only callers get chain-specific diagnostics
+/// ([`AnalysisError::NotAChain`]) and so the legacy walk stays testable
+/// against the general propagation.
+///
+/// # Errors
+///
+/// Chain-topology errors from [`TaskGraph::chain`]; otherwise as
+/// [`compute_buffer_capacities`].
+pub fn compute_buffer_capacities_via_chain(
+    tg: &TaskGraph,
+    constraint: ThroughputConstraint,
+    options: AnalysisOptions,
+) -> Result<GraphAnalysis, AnalysisError> {
     let chain = tg.chain()?;
     let rates = RateAssignment::derive(tg, &chain, constraint)?;
+    let constrained_task = match constraint.location() {
+        ConstraintLocation::Sink => chain.sink(),
+        ConstraintLocation::Source => chain.source(),
+    };
+    assemble(
+        tg,
+        constraint,
+        options,
+        chain.tasks(),
+        rates,
+        constrained_task,
+    )
+}
 
+/// The shared back half of the analysis: schedule-validity checks
+/// (Section 4.2) and the per-edge Eq. (4) capacity assignment, identical
+/// for the chain and DAG front ends.
+fn assemble(
+    tg: &TaskGraph,
+    constraint: ThroughputConstraint,
+    options: AnalysisOptions,
+    tasks: &[TaskId],
+    rates: RateAssignment,
+    constrained_task: TaskId,
+) -> Result<GraphAnalysis, AnalysisError> {
     // Schedule-validity conditions (Section 4.2).
     let mut violations = Vec::new();
-    for &task in chain.tasks() {
+    for &task in tasks {
         let rho = tg.task(task).response_time();
         let bound = rates.phi(task);
         if rho > bound {
@@ -267,16 +338,9 @@ pub fn compute_buffer_capacities_with(
         }
     }
 
-    let constrained_task = match constraint.location() {
-        ConstraintLocation::Sink => chain.sink(),
-        ConstraintLocation::Source => chain.source(),
-    };
-
-    let mut capacities = Vec::with_capacity(chain.buffers().len());
-    for (i, pair) in rates.pairs().iter().enumerate() {
-        let buffer_id = chain.buffers()[i];
-        debug_assert_eq!(pair.buffer, buffer_id);
-        let buffer = tg.buffer(buffer_id);
+    let mut capacities = Vec::with_capacity(rates.pairs().len());
+    for pair in rates.pairs() {
+        let buffer = tg.buffer(pair.buffer);
         let producer = buffer.producer();
         let consumer = buffer.consumer();
 
@@ -296,7 +360,7 @@ pub fn compute_buffer_capacities_with(
             buffer.consumption().max(),
         );
         capacities.push(BufferCapacity {
-            buffer: buffer_id,
+            buffer: pair.buffer,
             name: buffer.name().to_owned(),
             capacity: gaps.sufficient_initial_tokens(),
             token_period: gaps.token_period(),
@@ -310,7 +374,7 @@ pub fn compute_buffer_capacities_with(
         });
     }
 
-    Ok(ChainAnalysis {
+    Ok(GraphAnalysis {
         constraint,
         options,
         capacities,
@@ -370,20 +434,21 @@ pub fn pair_capacity(
     Ok(analysis.capacities()[0].clone())
 }
 
-/// Validates a chain and returns it together with its rate assignment —
-/// the intermediate results of the analysis, per C-INTERMEDIATE.
+/// Validates a task graph and returns its [`DagView`] together with its
+/// rate assignment — the intermediate results of the analysis, per
+/// C-INTERMEDIATE.
 ///
 /// # Errors
 ///
-/// Chain-topology errors from [`TaskGraph::chain`] and rate errors from
-/// [`RateAssignment::derive`].
+/// Topology errors from [`TaskGraph::dag`] and rate errors from
+/// [`RateAssignment::derive_dag`].
 pub fn derive_rates(
     tg: &TaskGraph,
     constraint: ThroughputConstraint,
-) -> Result<(ChainView, RateAssignment), AnalysisError> {
-    let chain = tg.chain()?;
-    let rates = RateAssignment::derive(tg, &chain, constraint)?;
-    Ok((chain, rates))
+) -> Result<(DagView, RateAssignment), AnalysisError> {
+    let dag = tg.dag()?;
+    let rates = RateAssignment::derive_dag(tg, &dag, constraint)?;
+    Ok((dag, rates))
 }
 
 #[cfg(test)]

@@ -28,6 +28,25 @@ pub enum AnalysisError {
         /// Human-readable description of the violation.
         detail: String,
     },
+    /// The graph is not a directed acyclic graph suitable for the
+    /// general analysis: it contains a directed cycle, or a task left
+    /// dangling with no buffers at all in a multi-task graph (an orphan).
+    NotADag {
+        /// The offending task.
+        task: String,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// The constrained endpoint is not unique: sink-constrained analysis
+    /// needs exactly one task without output buffers, source-constrained
+    /// analysis exactly one task without input buffers — otherwise the
+    /// rate of the extra endpoints is underdetermined.
+    AmbiguousEndpoint {
+        /// `"sink"` or `"source"`.
+        role: &'static str,
+        /// The names of the competing endpoint tasks.
+        tasks: Vec<String>,
+    },
     /// The underlying undirected graph is not weakly connected.
     Disconnected,
     /// The throughput constraint must be placed on a task without output
@@ -89,6 +108,15 @@ impl fmt::Display for AnalysisError {
             AnalysisError::NotAChain { task, detail } => {
                 write!(f, "graph is not a chain at task `{task}`: {detail}")
             }
+            AnalysisError::NotADag { task, detail } => {
+                write!(f, "graph is not a dag at task `{task}`: {detail}")
+            }
+            AnalysisError::AmbiguousEndpoint { role, tasks } => write!(
+                f,
+                "throughput constraint on the {role} is ambiguous: {} candidate endpoints ({})",
+                tasks.len(),
+                tasks.join(", ")
+            ),
             AnalysisError::Disconnected => {
                 f.write_str("graph must be weakly connected")
             }
@@ -139,6 +167,14 @@ mod tests {
             AnalysisError::NotAChain {
                 task: "t".into(),
                 detail: "two outputs".into(),
+            },
+            AnalysisError::NotADag {
+                task: "t".into(),
+                detail: "a cycle through it".into(),
+            },
+            AnalysisError::AmbiguousEndpoint {
+                role: "sink",
+                tasks: vec!["a".into(), "b".into()],
             },
             AnalysisError::Disconnected,
             AnalysisError::ConstraintNotOnEndpoint { task: "t".into() },

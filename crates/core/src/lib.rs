@@ -88,12 +88,13 @@ pub mod taskgraph;
 
 pub use bounds::{EdgeBounds, ExistenceSchedule, FiringEvent, LinearBound, PairGaps};
 pub use capacity::{
-    compute_buffer_capacities, compute_buffer_capacities_with, derive_rates, pair_capacity,
-    AnalysisOptions, BufferCapacity, ChainAnalysis, ConstrainedRelease, FeasibilityViolation,
+    compute_buffer_capacities, compute_buffer_capacities_via_chain, compute_buffer_capacities_with,
+    derive_rates, pair_capacity, AnalysisOptions, BufferCapacity, ChainAnalysis,
+    ConstrainedRelease, FeasibilityViolation, GraphAnalysis,
 };
 pub use error::AnalysisError;
 pub use graph::{Actor, ActorId, BufferEdges, Edge, EdgeId, ModelMapping, VrdfGraph};
 pub use quantum::QuantumSet;
 pub use rates::{ConstraintLocation, PairTiming, RateAssignment, ThroughputConstraint};
 pub use rational::{rat, ParseRationalError, Rational};
-pub use taskgraph::{Buffer, BufferId, ChainView, Task, TaskGraph, TaskId};
+pub use taskgraph::{Buffer, BufferId, ChainView, DagView, Task, TaskGraph, TaskId};

@@ -1,5 +1,5 @@
-//! Throughput constraints and rate propagation over chains
-//! (Sections 4.3 and 4.4).
+//! Throughput constraints and rate propagation over task graphs
+//! (Sections 4.3 and 4.4, generalized from chains to fork/join DAGs).
 //!
 //! The application requires one endpoint task to execute *strictly
 //! periodically* with period `τ`: the sink (`vτ` with no output buffers)
@@ -17,10 +17,27 @@
 //! * **Source-constrained** (Section 4.4): production is maximised and
 //!   consumption minimised instead; the bound rate is one token per
 //!   `φ(v_x)/π̂(e_xy)` and `φ(v_y) = φ(v_x)/π̂(e_xy) · γ̌(e_xy)`.
+//!
+//! # Beyond chains: forks and joins
+//!
+//! On a fork (one producer, many consumers) the producer must keep up
+//! with *every* branch, so its `φ` is the **binding minimum** over its
+//! outgoing edges' candidates — the tightest (highest-rate) path wins.
+//! Dually, on a join in source-constrained mode the consumer's `φ` is the
+//! minimum over its incoming edges' candidates.  A firing transfers on
+//! *all* adjacent buffers at once, so a task bound to a fast cadence by
+//! one branch also fills (or drains) its other branches at that cadence;
+//! each pair's bound rate is therefore the faster of the edge's own
+//! demand and the adjacent tasks' binding cadence:
+//! `t(e_xy) = min(φ(v_y)/γ̂(e_xy), φ(v_x)/π̌(e_xy))` sink-constrained
+//! (mirrored source-constrained).  On a chain the two coincide by
+//! construction, so [`RateAssignment::derive_dag`] reproduces the chain
+//! walk of [`RateAssignment::derive`] exactly — `tests/differential.rs`
+//! pins this.
 
 use crate::error::AnalysisError;
 use crate::rational::Rational;
-use crate::taskgraph::{BufferId, ChainView, TaskGraph, TaskId};
+use crate::taskgraph::{BufferId, ChainView, DagView, TaskGraph, TaskId};
 
 /// Which endpoint of the chain carries the throughput constraint.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -159,11 +176,15 @@ impl RateAssignment {
         constraint: ThroughputConstraint,
     ) -> Result<RateAssignment, AnalysisError> {
         let n = chain.tasks().len();
-        let mut phi = vec![Rational::ZERO; n];
+        // `phi` is indexed by the task's *insertion* index, which is how
+        // [`RateAssignment::phi`] looks values up; `pos` maps a chain
+        // position to that index.
+        let mut phi = vec![Rational::ZERO; tg.task_count()];
+        let pos = |i: usize| chain.tasks()[i].index();
         let mut pairs = Vec::with_capacity(chain.buffers().len());
         match constraint.location {
             ConstraintLocation::Sink => {
-                phi[n - 1] = constraint.period;
+                phi[pos(n - 1)] = constraint.period;
                 // Walk sink -> source.
                 for i in (0..chain.buffers().len()).rev() {
                     let buffer_id = chain.buffers()[i];
@@ -174,11 +195,11 @@ impl RateAssignment {
                             role: "production",
                         });
                     }
-                    let consumer_phi = phi[i + 1];
+                    let consumer_phi = phi[pos(i + 1)];
                     let c_max = Rational::from(buffer.consumption().max());
                     let token_period = consumer_phi / c_max;
                     let producer_phi = token_period * Rational::from(buffer.production().min());
-                    phi[i] = producer_phi;
+                    phi[pos(i)] = producer_phi;
                     pairs.push(PairTiming {
                         buffer: buffer_id,
                         token_period,
@@ -189,7 +210,7 @@ impl RateAssignment {
                 pairs.reverse();
             }
             ConstraintLocation::Source => {
-                phi[0] = constraint.period;
+                phi[pos(0)] = constraint.period;
                 // Walk source -> sink.
                 for i in 0..chain.buffers().len() {
                     let buffer_id = chain.buffers()[i];
@@ -200,11 +221,11 @@ impl RateAssignment {
                             role: "consumption",
                         });
                     }
-                    let producer_phi = phi[i];
+                    let producer_phi = phi[pos(i)];
                     let p_max = Rational::from(buffer.production().max());
                     let token_period = producer_phi / p_max;
                     let consumer_phi = token_period * Rational::from(buffer.consumption().min());
-                    phi[i + 1] = consumer_phi;
+                    phi[pos(i + 1)] = consumer_phi;
                     pairs.push(PairTiming {
                         buffer: buffer_id,
                         token_period,
@@ -213,6 +234,115 @@ impl RateAssignment {
                     });
                 }
             }
+        }
+        Ok(RateAssignment {
+            constraint,
+            phi,
+            pairs,
+        })
+    }
+
+    /// Derives rates for a validated fork/join DAG under a throughput
+    /// constraint — the topology-general form of [`RateAssignment::derive`].
+    ///
+    /// Processing order is topological (reversed in sink-constrained
+    /// mode), so every task's `φ` is the binding minimum over its already
+    /// resolved neighbours; see the module docs for the fork/join rules.
+    /// On a chain this is exactly the chain walk.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalysisError::AmbiguousEndpoint`] — several sinks in
+    ///   sink-constrained mode (or several sources in source-constrained
+    ///   mode); the extra endpoints' rates would be underdetermined.
+    /// * [`AnalysisError::ZeroQuantumNotSupported`] — as in
+    ///   [`RateAssignment::derive`].
+    pub fn derive_dag(
+        tg: &TaskGraph,
+        dag: &DagView,
+        constraint: ThroughputConstraint,
+    ) -> Result<RateAssignment, AnalysisError> {
+        let mut phi = vec![Rational::ZERO; tg.task_count()];
+        match constraint.location {
+            ConstraintLocation::Sink => {
+                let sink = dag.unique_sink(tg)?;
+                phi[sink.index()] = constraint.period;
+                // Reverse topological order: every consumer's phi is
+                // resolved before its producers are visited.
+                for &task in dag.tasks().iter().rev() {
+                    if task == sink {
+                        continue;
+                    }
+                    let mut binding: Option<Rational> = None;
+                    for &buffer_id in tg.output_buffers(task) {
+                        let buffer = tg.buffer(buffer_id);
+                        if buffer.production().contains_zero() {
+                            return Err(AnalysisError::ZeroQuantumNotSupported {
+                                buffer: buffer.name().to_owned(),
+                                role: "production",
+                            });
+                        }
+                        let consumer_phi = phi[buffer.consumer().index()];
+                        let candidate = consumer_phi / Rational::from(buffer.consumption().max())
+                            * Rational::from(buffer.production().min());
+                        binding = Some(binding.map_or(candidate, |b| b.min(candidate)));
+                    }
+                    phi[task.index()] =
+                        binding.expect("every non-sink task of a single-sink DAG has an output");
+                }
+            }
+            ConstraintLocation::Source => {
+                let source = dag.unique_source(tg)?;
+                phi[source.index()] = constraint.period;
+                for &task in dag.tasks().iter() {
+                    if task == source {
+                        continue;
+                    }
+                    let mut binding: Option<Rational> = None;
+                    for &buffer_id in tg.input_buffers(task) {
+                        let buffer = tg.buffer(buffer_id);
+                        if buffer.consumption().contains_zero() {
+                            return Err(AnalysisError::ZeroQuantumNotSupported {
+                                buffer: buffer.name().to_owned(),
+                                role: "consumption",
+                            });
+                        }
+                        let producer_phi = phi[buffer.producer().index()];
+                        let candidate = producer_phi / Rational::from(buffer.production().max())
+                            * Rational::from(buffer.consumption().min());
+                        binding = Some(binding.map_or(candidate, |b| b.min(candidate)));
+                    }
+                    phi[task.index()] =
+                        binding.expect("every non-source task of a single-source DAG has an input");
+                }
+            }
+        }
+        // Per-pair bound rates from the resolved phis: the faster of the
+        // edge's own demand and the adjacent task's binding cadence (they
+        // coincide on chains).
+        let mut pairs = Vec::with_capacity(dag.buffers().len());
+        for &buffer_id in dag.buffers() {
+            let buffer = tg.buffer(buffer_id);
+            let producer_phi = phi[buffer.producer().index()];
+            let consumer_phi = phi[buffer.consumer().index()];
+            let token_period = match constraint.location {
+                ConstraintLocation::Sink => {
+                    let demand = consumer_phi / Rational::from(buffer.consumption().max());
+                    let cadence = producer_phi / Rational::from(buffer.production().min().max(1));
+                    demand.min(cadence)
+                }
+                ConstraintLocation::Source => {
+                    let cadence = producer_phi / Rational::from(buffer.production().max());
+                    let demand = consumer_phi / Rational::from(buffer.consumption().min().max(1));
+                    cadence.min(demand)
+                }
+            };
+            pairs.push(PairTiming {
+                buffer: buffer_id,
+                token_period,
+                producer_phi,
+                consumer_phi,
+            });
         }
         Ok(RateAssignment {
             constraint,
@@ -443,6 +573,121 @@ mod tests {
             ThroughputConstraint::on_source(rat(1, 10)).unwrap(),
         )
         .is_ok());
+    }
+
+    #[test]
+    fn dag_walk_matches_chain_walk_on_chains() {
+        let tg = mp3_chain();
+        let chain = tg.chain().unwrap();
+        let dag = tg.dag().unwrap();
+        let constraint = ThroughputConstraint::on_sink(rat(1, 44100)).unwrap();
+        let via_chain = RateAssignment::derive(&tg, &chain, constraint).unwrap();
+        let via_dag = RateAssignment::derive_dag(&tg, &dag, constraint).unwrap();
+        for &task in chain.tasks() {
+            assert_eq!(via_chain.phi(task), via_dag.phi(task));
+        }
+        assert_eq!(via_chain.pairs(), via_dag.pairs());
+    }
+
+    /// A fork: `src` feeds a fast branch (consumes 4 per firing) and a
+    /// slow branch (consumes 1 per firing), both strict sinks... joined
+    /// through a mux so the sink is unique.
+    fn fork_join_graph() -> (TaskGraph, crate::taskgraph::DagView) {
+        let mut tg = TaskGraph::new();
+        let src = tg.add_task("src", Rational::ZERO).unwrap();
+        let fast = tg.add_task("fast", Rational::ZERO).unwrap();
+        let slow = tg.add_task("slow", Rational::ZERO).unwrap();
+        let mux = tg.add_task("mux", Rational::ZERO).unwrap();
+        tg.connect("f", src, fast, q(&[2]), q(&[4])).unwrap();
+        tg.connect("s", src, slow, q(&[1]), q(&[1])).unwrap();
+        tg.connect("fm", fast, mux, q(&[1]), q(&[1])).unwrap();
+        tg.connect("sm", slow, mux, q(&[2]), q(&[1])).unwrap();
+        let dag = tg.dag().unwrap();
+        (tg, dag)
+    }
+
+    #[test]
+    fn fork_takes_the_binding_minimum_over_branches() {
+        let (tg, dag) = fork_join_graph();
+        let tau = rat(8, 1);
+        let rates =
+            RateAssignment::derive_dag(&tg, &dag, ThroughputConstraint::on_sink(tau).unwrap())
+                .unwrap();
+        let phi = |name: &str| rates.phi(tg.task_by_name(name).unwrap());
+        // Sink: phi(mux) = tau = 8.
+        assert_eq!(phi("mux"), rat(8, 1));
+        // fm: token 8/1, phi(fast) = 8·1 = 8.  sm: token 8/1,
+        // phi(slow) = 8·2 = 16.
+        assert_eq!(phi("fast"), rat(8, 1));
+        assert_eq!(phi("slow"), rat(16, 1));
+        // src candidates: via f, (8/4)·2 = 4; via s, (16/1)·1 = 16.
+        // The binding minimum is the fast branch.
+        assert_eq!(phi("src"), rat(4, 1));
+        // On the slow branch the pair rate follows the producer's forced
+        // cadence (4 per π̌ = 1 token), not the branch demand of 16.
+        let pair_of = |name: &str| {
+            *rates
+                .pairs()
+                .iter()
+                .find(|p| p.buffer == tg.buffer_by_name(name).unwrap())
+                .unwrap()
+        };
+        assert_eq!(pair_of("s").token_period, rat(4, 1));
+        assert_eq!(pair_of("f").token_period, rat(2, 1)); // 8/4 = 4/2
+        assert_eq!(pair_of("s").producer_phi, rat(4, 1));
+        assert_eq!(pair_of("s").consumer_phi, rat(16, 1));
+    }
+
+    #[test]
+    fn ambiguous_sink_is_rejected() {
+        let mut tg = TaskGraph::new();
+        let a = tg.add_task("a", Rational::ZERO).unwrap();
+        let b = tg.add_task("b", Rational::ZERO).unwrap();
+        let c = tg.add_task("c", Rational::ZERO).unwrap();
+        tg.connect("ab", a, b, q(&[1]), q(&[1])).unwrap();
+        tg.connect("ac", a, c, q(&[1]), q(&[1])).unwrap();
+        let dag = tg.dag().unwrap();
+        let err = RateAssignment::derive_dag(
+            &tg,
+            &dag,
+            ThroughputConstraint::on_sink(rat(1, 1)).unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AnalysisError::AmbiguousEndpoint { .. }));
+        // Source-constrained works: the source is unique.
+        assert!(RateAssignment::derive_dag(
+            &tg,
+            &dag,
+            ThroughputConstraint::on_source(rat(1, 1)).unwrap()
+        )
+        .is_ok());
+    }
+
+    #[test]
+    fn source_constrained_join_takes_binding_minimum() {
+        // Two-stage: source forks into two branches that join at the sink.
+        let mut tg = TaskGraph::new();
+        let src = tg.add_task("src", Rational::ZERO).unwrap();
+        let l = tg.add_task("l", Rational::ZERO).unwrap();
+        let r = tg.add_task("r", Rational::ZERO).unwrap();
+        let snk = tg.add_task("snk", Rational::ZERO).unwrap();
+        tg.connect("sl", src, l, q(&[4]), q(&[2])).unwrap();
+        tg.connect("sr", src, r, q(&[1]), q(&[1])).unwrap();
+        tg.connect("ls", l, snk, q(&[1]), q(&[1])).unwrap();
+        tg.connect("rs", r, snk, q(&[1]), q(&[2])).unwrap();
+        let dag = tg.dag().unwrap();
+        let tau = rat(2, 1);
+        let rates =
+            RateAssignment::derive_dag(&tg, &dag, ThroughputConstraint::on_source(tau).unwrap())
+                .unwrap();
+        let phi = |name: &str| rates.phi(tg.task_by_name(name).unwrap());
+        assert_eq!(phi("src"), tau);
+        // l: (2/4)·2 = 1.  r: (2/1)·1 = 2.
+        assert_eq!(phi("l"), rat(1, 1));
+        assert_eq!(phi("r"), rat(2, 1));
+        // snk candidates: via ls, (1/1)·1 = 1; via rs, (2/1)·2 = 4.
+        // The join binds to the fastest producer cadence.
+        assert_eq!(phi("snk"), rat(1, 1));
     }
 
     #[test]

@@ -15,9 +15,13 @@
 //! * `ζ(b)` — the buffer capacity in containers; this is what the analysis
 //!   computes.
 //!
-//! The topology is restricted to **chains**: every task has at most one
-//! input and at most one output buffer, and the throughput constraint sits
-//! on a task without outputs (sink) or without inputs (source).
+//! The topology is a weakly connected **directed acyclic graph**: tasks
+//! may fork (one producer, many consumers) and join (many producers, one
+//! consumer), validated by [`TaskGraph::dag`].  The throughput constraint
+//! sits on a task without outputs (sink) or without inputs (source).
+//! Section 3.1's **chain** restriction — every task with at most one
+//! input and one output buffer — survives as the validated special case
+//! [`TaskGraph::chain`] / [`ChainView`].
 
 use std::fmt;
 
@@ -307,14 +311,123 @@ impl TaskGraph {
             .map(|(i, b)| (BufferId(i), b))
     }
 
-    /// Output buffers of a task (at most one in a valid chain).
+    /// Output buffers of a task, in connection order (at most one in a
+    /// valid chain).
     pub fn output_buffers(&self, task: TaskId) -> &[BufferId] {
         &self.outputs[task.0]
     }
 
-    /// Input buffers of a task (at most one in a valid chain).
+    /// Input buffers of a task, in connection order (at most one in a
+    /// valid chain).
     pub fn input_buffers(&self, task: TaskId) -> &[BufferId] {
         &self.inputs[task.0]
+    }
+
+    /// Validates the general fork/join topology and returns a
+    /// [`DagView`]: tasks in a deterministic topological order (ties
+    /// break by insertion order) and buffers ordered by their producer's
+    /// topological position (connection order within one producer) —
+    /// source-to-sink chain order when the graph is a chain.
+    ///
+    /// # Errors
+    ///
+    /// * [`AnalysisError::EmptyGraph`] — no tasks.
+    /// * [`AnalysisError::NotADag`] — a directed cycle, or an orphan task
+    ///   with no buffers at all in a multi-task graph.
+    /// * [`AnalysisError::Disconnected`] — more than one weakly connected
+    ///   component.
+    pub fn dag(&self) -> Result<DagView, AnalysisError> {
+        if self.tasks.is_empty() {
+            return Err(AnalysisError::EmptyGraph);
+        }
+        if self.tasks.len() > 1 {
+            for (id, task) in self.tasks() {
+                if self.inputs[id.0].is_empty() && self.outputs[id.0].is_empty() {
+                    return Err(AnalysisError::NotADag {
+                        task: task.name.clone(),
+                        detail: "orphan task with no input or output buffers".into(),
+                    });
+                }
+            }
+        }
+        // Weak connectivity: undirected flood fill from task 0.
+        let mut seen = vec![false; self.tasks.len()];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(t) = stack.pop() {
+            for &b in self.outputs[t].iter().chain(&self.inputs[t]) {
+                let buffer = &self.buffers[b.0];
+                for next in [buffer.producer.0, buffer.consumer.0] {
+                    if !seen[next] {
+                        seen[next] = true;
+                        stack.push(next);
+                    }
+                }
+            }
+        }
+        if seen.iter().any(|s| !s) {
+            return Err(AnalysisError::Disconnected);
+        }
+        // Kahn's algorithm with a sorted ready set: deterministic
+        // topological order, insertion order breaking ties.  On a valid
+        // chain this reproduces the source-to-sink chain order exactly.
+        let mut indegree: Vec<usize> = (0..self.tasks.len())
+            .map(|t| self.inputs[t].len())
+            .collect();
+        let mut ready: Vec<usize> = (0..self.tasks.len())
+            .filter(|&t| indegree[t] == 0)
+            .collect();
+        // Popping from the back of a descending-sorted vec yields the
+        // smallest index first.
+        ready.sort_unstable_by(|a, b| b.cmp(a));
+        let mut topo = Vec::with_capacity(self.tasks.len());
+        while let Some(t) = ready.pop() {
+            topo.push(TaskId(t));
+            for &b in &self.outputs[t] {
+                let consumer = self.buffers[b.0].consumer.0;
+                indegree[consumer] -= 1;
+                if indegree[consumer] == 0 {
+                    let at = ready
+                        .binary_search_by(|probe| consumer.cmp(probe))
+                        .unwrap_err();
+                    ready.insert(at, consumer);
+                }
+            }
+        }
+        if topo.len() != self.tasks.len() {
+            let stuck = (0..self.tasks.len())
+                .find(|&t| indegree[t] > 0)
+                .expect("an unvisited task has pending inputs");
+            return Err(AnalysisError::NotADag {
+                task: self.tasks[stuck].name.clone(),
+                detail: "the graph contains a directed cycle".into(),
+            });
+        }
+        let sources = topo
+            .iter()
+            .copied()
+            .filter(|t| self.inputs[t.0].is_empty())
+            .collect();
+        let sinks = topo
+            .iter()
+            .copied()
+            .filter(|t| self.outputs[t.0].is_empty())
+            .collect();
+        // Buffers follow their producer's topological position (then
+        // connection order), so on a chain the view reproduces the
+        // source-to-sink buffer order of [`TaskGraph::chain`] no matter
+        // the insertion order — the DAG and chain analysis paths stay
+        // positionally interchangeable on linear graphs.
+        let buffers = topo
+            .iter()
+            .flat_map(|t| self.outputs[t.0].iter().copied())
+            .collect();
+        Ok(DagView {
+            topo,
+            buffers,
+            sources,
+            sinks,
+        })
     }
 
     /// Validates the chain topology of Section 3.1 and returns the tasks
@@ -419,19 +532,28 @@ impl TaskGraph {
         let mut count = 0usize;
         for (i, (name, production, consumption)) in buffers.into_iter().enumerate() {
             if i + 1 >= ids.len() {
+                let last = ids.last().map_or("<empty chain>".to_owned(), |&id| {
+                    tg.task(id).name().to_owned()
+                });
                 return Err(AnalysisError::NotAChain {
-                    task: "<chain builder>".into(),
-                    detail: "more buffers than task gaps".into(),
+                    task: last,
+                    detail: format!(
+                        "buffer `{name}` has no downstream task to connect \
+                         ({} tasks leave {} gaps)",
+                        ids.len(),
+                        ids.len().saturating_sub(1)
+                    ),
                 });
             }
             tg.connect(name, ids[i], ids[i + 1], production, consumption)?;
             count += 1;
         }
         if count + 1 != ids.len() {
+            let unreachable = tg.task(ids[count + 1]).name().to_owned();
             return Err(AnalysisError::NotAChain {
-                task: "<chain builder>".into(),
+                task: unreachable,
                 detail: format!(
-                    "{} tasks need {} buffers, got {count}",
+                    "task is unreachable: {} tasks need {} buffers, got {count}",
                     ids.len(),
                     ids.len() - 1
                 ),
@@ -485,6 +607,101 @@ impl ChainView {
     #[inline]
     pub fn sink(&self) -> TaskId {
         *self.tasks.last().expect("chains are non-empty")
+    }
+
+    /// The chain as a [`DagView`]: tasks in chain order (which is a
+    /// topological order) and buffers in chain order.  A chain is the
+    /// degenerate fork/join graph with all degrees at most one, so this
+    /// is a plain relabelling — no re-validation.
+    pub fn to_dag(&self) -> DagView {
+        DagView {
+            topo: self.tasks.clone(),
+            buffers: self.buffers.clone(),
+            sources: vec![self.source()],
+            sinks: vec![self.sink()],
+        }
+    }
+}
+
+/// A validated fork/join task graph: tasks in topological order, buffers
+/// ordered by their producer's topological position, and the endpoint
+/// (source/sink) sets the throughput constraint can attach to.
+///
+/// Produced by [`TaskGraph::dag`] or [`ChainView::to_dag`]; on a chain
+/// both order the buffers source to sink.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DagView {
+    topo: Vec<TaskId>,
+    buffers: Vec<BufferId>,
+    sources: Vec<TaskId>,
+    sinks: Vec<TaskId>,
+}
+
+impl DagView {
+    /// Tasks in topological order: every buffer's producer appears before
+    /// its consumer.
+    #[inline]
+    pub fn tasks(&self) -> &[TaskId] {
+        &self.topo
+    }
+
+    /// All buffers of the graph, in the view's deterministic order.
+    #[inline]
+    pub fn buffers(&self) -> &[BufferId] {
+        &self.buffers
+    }
+
+    /// Number of tasks.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.topo.len()
+    }
+
+    /// Whether the view is empty (never true for a validated DAG).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.topo.is_empty()
+    }
+
+    /// Tasks without input buffers, in topological order.
+    #[inline]
+    pub fn sources(&self) -> &[TaskId] {
+        &self.sources
+    }
+
+    /// Tasks without output buffers, in topological order.
+    #[inline]
+    pub fn sinks(&self) -> &[TaskId] {
+        &self.sinks
+    }
+
+    /// The unique source, or [`AnalysisError::AmbiguousEndpoint`] when the
+    /// DAG has several — required by source-constrained analysis.
+    pub fn unique_source(&self, tg: &TaskGraph) -> Result<TaskId, AnalysisError> {
+        Self::unique(&self.sources, "source", tg)
+    }
+
+    /// The unique sink, or [`AnalysisError::AmbiguousEndpoint`] when the
+    /// DAG has several — required by sink-constrained analysis.
+    pub fn unique_sink(&self, tg: &TaskGraph) -> Result<TaskId, AnalysisError> {
+        Self::unique(&self.sinks, "sink", tg)
+    }
+
+    fn unique(
+        endpoints: &[TaskId],
+        role: &'static str,
+        tg: &TaskGraph,
+    ) -> Result<TaskId, AnalysisError> {
+        match endpoints {
+            [one] => Ok(*one),
+            _ => Err(AnalysisError::AmbiguousEndpoint {
+                role,
+                tasks: endpoints
+                    .iter()
+                    .map(|&t| tg.task(t).name().to_owned())
+                    .collect(),
+            }),
+        }
     }
 }
 
@@ -655,16 +872,191 @@ mod tests {
     }
 
     #[test]
-    fn linear_chain_count_mismatch() {
+    fn linear_chain_count_mismatch_names_the_offender() {
+        // Too few buffers: the first unreachable task is named.
         let r = TaskGraph::linear_chain(
             [("a", rat(1, 1)), ("b", rat(1, 1)), ("c", rat(1, 1))],
             [("b0", q(&[1]), q(&[1]))],
         );
-        assert!(matches!(r, Err(AnalysisError::NotAChain { .. })));
+        match r {
+            Err(AnalysisError::NotAChain { task, detail }) => {
+                assert_eq!(task, "c");
+                assert!(detail.contains("unreachable"), "{detail}");
+            }
+            other => panic!("expected NotAChain, got {other:?}"),
+        }
+        // Too many buffers: the dangling buffer and the last task are
+        // named.
         let r = TaskGraph::linear_chain(
             [("a", rat(1, 1)), ("b", rat(1, 1))],
             [("b0", q(&[1]), q(&[1])), ("b1", q(&[1]), q(&[1]))],
         );
-        assert!(matches!(r, Err(AnalysisError::NotAChain { .. })));
+        match r {
+            Err(AnalysisError::NotAChain { task, detail }) => {
+                assert_eq!(task, "b");
+                assert!(detail.contains("`b1`"), "{detail}");
+            }
+            other => panic!("expected NotAChain, got {other:?}"),
+        }
+    }
+
+    /// A diamond: a forks to b and c, which join into d.
+    fn diamond() -> TaskGraph {
+        let mut tg = TaskGraph::new();
+        let a = tg.add_task("a", rat(1, 1)).unwrap();
+        let b = tg.add_task("b", rat(1, 1)).unwrap();
+        let c = tg.add_task("c", rat(1, 1)).unwrap();
+        let d = tg.add_task("d", rat(1, 1)).unwrap();
+        tg.connect("ab", a, b, q(&[1]), q(&[1])).unwrap();
+        tg.connect("ac", a, c, q(&[1]), q(&[1])).unwrap();
+        tg.connect("bd", b, d, q(&[1]), q(&[1])).unwrap();
+        tg.connect("cd", c, d, q(&[1]), q(&[1])).unwrap();
+        tg
+    }
+
+    #[test]
+    fn dag_accepts_fork_join_in_topological_order() {
+        let tg = diamond();
+        assert!(matches!(tg.chain(), Err(AnalysisError::NotAChain { .. })));
+        let dag = tg.dag().unwrap();
+        assert_eq!(dag.len(), 4);
+        assert!(!dag.is_empty());
+        // Topological: a before b/c, b/c before d; ties by insertion.
+        let names: Vec<&str> = dag.tasks().iter().map(|&t| tg.task(t).name()).collect();
+        assert_eq!(names, vec!["a", "b", "c", "d"]);
+        assert_eq!(dag.buffers().len(), 4);
+        assert_eq!(dag.sources(), &[tg.task_by_name("a").unwrap()]);
+        assert_eq!(dag.sinks(), &[tg.task_by_name("d").unwrap()]);
+        assert_eq!(
+            dag.unique_source(&tg).unwrap(),
+            tg.task_by_name("a").unwrap()
+        );
+        assert_eq!(dag.unique_sink(&tg).unwrap(), tg.task_by_name("d").unwrap());
+    }
+
+    #[test]
+    fn dag_topological_order_is_insertion_stable() {
+        // The same diamond built with the middle tasks inserted in the
+        // opposite order: topological ties must follow insertion order.
+        let mut tg = TaskGraph::new();
+        let a = tg.add_task("a", rat(1, 1)).unwrap();
+        let c = tg.add_task("c", rat(1, 1)).unwrap();
+        let b = tg.add_task("b", rat(1, 1)).unwrap();
+        let d = tg.add_task("d", rat(1, 1)).unwrap();
+        tg.connect("ab", a, b, q(&[1]), q(&[1])).unwrap();
+        tg.connect("ac", a, c, q(&[1]), q(&[1])).unwrap();
+        tg.connect("bd", b, d, q(&[1]), q(&[1])).unwrap();
+        tg.connect("cd", c, d, q(&[1]), q(&[1])).unwrap();
+        let names: Vec<&str> = tg
+            .dag()
+            .unwrap()
+            .tasks()
+            .iter()
+            .map(|&t| tg.task(t).name())
+            .collect();
+        assert_eq!(names, vec!["a", "c", "b", "d"]);
+    }
+
+    #[test]
+    fn dag_rejects_cycles_orphans_and_disconnection() {
+        // Cycle.
+        let mut tg = TaskGraph::new();
+        let a = tg.add_task("a", rat(1, 1)).unwrap();
+        let b = tg.add_task("b", rat(1, 1)).unwrap();
+        tg.connect("ab", a, b, q(&[1]), q(&[1])).unwrap();
+        tg.connect("ba", b, a, q(&[1]), q(&[1])).unwrap();
+        match tg.dag() {
+            Err(AnalysisError::NotADag { detail, .. }) => {
+                assert!(detail.contains("cycle"), "{detail}")
+            }
+            other => panic!("expected NotADag, got {other:?}"),
+        }
+        // Orphan.
+        let mut tg = two_task_graph();
+        tg.add_task("lonely", rat(1, 1)).unwrap();
+        match tg.dag() {
+            Err(AnalysisError::NotADag { task, detail }) => {
+                assert_eq!(task, "lonely");
+                assert!(detail.contains("orphan"), "{detail}");
+            }
+            other => panic!("expected NotADag, got {other:?}"),
+        }
+        // Two disjoint chains: connected pairwise, still two components.
+        let mut tg = TaskGraph::new();
+        let a = tg.add_task("a", rat(1, 1)).unwrap();
+        let b = tg.add_task("b", rat(1, 1)).unwrap();
+        let c = tg.add_task("c", rat(1, 1)).unwrap();
+        let d = tg.add_task("d", rat(1, 1)).unwrap();
+        tg.connect("ab", a, b, q(&[1]), q(&[1])).unwrap();
+        tg.connect("cd", c, d, q(&[1]), q(&[1])).unwrap();
+        assert!(matches!(tg.dag(), Err(AnalysisError::Disconnected)));
+        // Empty.
+        assert!(matches!(
+            TaskGraph::new().dag(),
+            Err(AnalysisError::EmptyGraph)
+        ));
+        // A single task is a valid (trivial) DAG, as it is a valid chain.
+        let mut tg = TaskGraph::new();
+        tg.add_task("only", rat(1, 1)).unwrap();
+        let dag = tg.dag().unwrap();
+        assert_eq!(dag.len(), 1);
+        assert_eq!(dag.sources(), dag.sinks());
+    }
+
+    #[test]
+    fn dag_buffer_order_follows_producers_not_insertion() {
+        // A chain whose tasks and buffers are inserted sink-first: the
+        // view must still order both source to sink, exactly like
+        // `chain()`, so the DAG and chain analysis paths stay
+        // positionally interchangeable on linear graphs.
+        let mut tg = TaskGraph::new();
+        let c = tg.add_task("c", rat(1, 1)).unwrap();
+        let b = tg.add_task("b", rat(1, 1)).unwrap();
+        let a = tg.add_task("a", rat(1, 1)).unwrap();
+        tg.connect("bc", b, c, q(&[1]), q(&[1])).unwrap();
+        tg.connect("ab", a, b, q(&[2]), q(&[2])).unwrap();
+        let chain = tg.chain().unwrap();
+        let dag = tg.dag().unwrap();
+        assert_eq!(dag.tasks(), chain.tasks());
+        assert_eq!(dag.buffers(), chain.buffers());
+        let names: Vec<&str> = dag.buffers().iter().map(|&b| tg.buffer(b).name()).collect();
+        assert_eq!(names, vec!["ab", "bc"]);
+    }
+
+    #[test]
+    fn chain_to_dag_preserves_chain_order() {
+        let tg = TaskGraph::linear_chain(
+            [("t0", rat(1, 1)), ("t1", rat(1, 1)), ("t2", rat(1, 1))],
+            [("b0", q(&[2]), q(&[3])), ("b1", q(&[1]), q(&[4]))],
+        )
+        .unwrap();
+        let chain = tg.chain().unwrap();
+        let dag = chain.to_dag();
+        assert_eq!(dag.tasks(), chain.tasks());
+        assert_eq!(dag.buffers(), chain.buffers());
+        assert_eq!(dag.sources(), &[chain.source()]);
+        assert_eq!(dag.sinks(), &[chain.sink()]);
+        // And the direct validation agrees with the conversion.
+        assert_eq!(tg.dag().unwrap(), dag);
+    }
+
+    #[test]
+    fn ambiguous_endpoints_are_reported_with_names() {
+        // Join from two sources: source-constrained analysis cannot pick.
+        let mut tg = TaskGraph::new();
+        let a = tg.add_task("a", rat(1, 1)).unwrap();
+        let b = tg.add_task("b", rat(1, 1)).unwrap();
+        let c = tg.add_task("c", rat(1, 1)).unwrap();
+        tg.connect("ac", a, c, q(&[1]), q(&[1])).unwrap();
+        tg.connect("bc", b, c, q(&[1]), q(&[1])).unwrap();
+        let dag = tg.dag().unwrap();
+        assert_eq!(dag.unique_sink(&tg).unwrap(), c);
+        match dag.unique_source(&tg) {
+            Err(AnalysisError::AmbiguousEndpoint { role, tasks }) => {
+                assert_eq!(role, "source");
+                assert_eq!(tasks, vec!["a".to_owned(), "b".to_owned()]);
+            }
+            other => panic!("expected AmbiguousEndpoint, got {other:?}"),
+        }
     }
 }

@@ -198,7 +198,9 @@ fn zero_production_quantum_is_rejected_in_sink_mode() {
 }
 
 #[test]
-fn non_chain_topologies_are_rejected_before_analysis() {
+fn unanalysable_topologies_are_rejected_before_capacity_assignment() {
+    // A fork ending in two sinks: the general analysis accepts the fork
+    // but cannot place a sink constraint — the endpoint is ambiguous.
     let mut tg = TaskGraph::new();
     let a = tg.add_task("a", rat(1, 10)).unwrap();
     let b = tg.add_task("b", rat(1, 10)).unwrap();
@@ -207,8 +209,40 @@ fn non_chain_topologies_are_rejected_before_analysis() {
         .unwrap();
     tg.connect("ac", a, c, QuantumSet::constant(1), QuantumSet::constant(1))
         .unwrap();
+    let constraint = ThroughputConstraint::on_sink(rat(1, 10)).unwrap();
+    match compute_buffer_capacities(&tg, constraint) {
+        Err(AnalysisError::AmbiguousEndpoint { role, tasks }) => {
+            assert_eq!(role, "sink");
+            assert_eq!(tasks, vec!["b".to_owned(), "c".to_owned()]);
+        }
+        other => panic!("expected AmbiguousEndpoint, got {other:?}"),
+    }
+    // The same fork is analysable source-constrained (unique source `a`).
+    assert!(
+        compute_buffer_capacities(&tg, ThroughputConstraint::on_source(rat(1, 10)).unwrap())
+            .is_ok()
+    );
+    // The chain special case still rejects any fork outright.
     assert!(matches!(
-        compute_buffer_capacities(&tg, ThroughputConstraint::on_sink(rat(1, 10)).unwrap()),
+        vrdf_core::compute_buffer_capacities_via_chain(
+            &tg,
+            constraint,
+            vrdf_core::AnalysisOptions::default()
+        ),
         Err(AnalysisError::NotAChain { .. })
+    ));
+    // A directed cycle is no DAG at all.
+    let mut cyclic = TaskGraph::new();
+    let x = cyclic.add_task("x", rat(1, 10)).unwrap();
+    let y = cyclic.add_task("y", rat(1, 10)).unwrap();
+    cyclic
+        .connect("xy", x, y, QuantumSet::constant(1), QuantumSet::constant(1))
+        .unwrap();
+    cyclic
+        .connect("yx", y, x, QuantumSet::constant(1), QuantumSet::constant(1))
+        .unwrap();
+    assert!(matches!(
+        compute_buffer_capacities(&cyclic, constraint),
+        Err(AnalysisError::NotADag { .. })
     ));
 }

@@ -17,11 +17,11 @@
 #![forbid(unsafe_code)]
 
 use vrdf_core::{
-    compute_buffer_capacities, AnalysisError, ChainAnalysis, TaskGraph, ThroughputConstraint,
+    compute_buffer_capacities, AnalysisError, GraphAnalysis, TaskGraph, ThroughputConstraint,
 };
 
 /// Rewrites every buffer's quantum sets to the singleton of their maxima,
-/// producing the constant-rate (SDF) abstraction of a variable-rate chain.
+/// producing the constant-rate (SDF) abstraction of a variable-rate graph.
 ///
 /// Task names, response times, and already-assigned capacities carry over.
 ///
@@ -82,7 +82,7 @@ pub fn constant_max_abstraction(tg: &TaskGraph) -> Result<TaskGraph, AnalysisErr
 pub fn constant_max_capacities(
     tg: &TaskGraph,
     constraint: ThroughputConstraint,
-) -> Result<ChainAnalysis, AnalysisError> {
+) -> Result<GraphAnalysis, AnalysisError> {
     compute_buffer_capacities(&constant_max_abstraction(tg)?, constraint)
 }
 

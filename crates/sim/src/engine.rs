@@ -1,13 +1,16 @@
 //! The self-timed discrete-event executor.
 //!
-//! The engine executes a chain-shaped [`TaskGraph`] under the paper's
-//! operational semantics (Section 3): a task may start a firing when its
-//! input buffer holds enough full containers *and* its output buffer holds
-//! enough empty containers for the quanta of that firing; containers are
-//! claimed atomically at the start, the firing occupies the task for its
-//! worst-case response time `κ(w)`, consumed containers are freed and
-//! produced containers become full at the finish.  Every unconstrained
-//! task runs *self-timed* — it fires as soon as it is enabled.
+//! The engine executes a fork/join [`TaskGraph`] (any DAG accepted by
+//! [`TaskGraph::dag`]; chains are the degenerate case) under the paper's
+//! operational semantics (Section 3): a task may start a firing when
+//! *every* input buffer holds enough full containers *and* *every* output
+//! buffer holds enough empty containers for the per-edge quanta of that
+//! firing; containers are claimed atomically on all adjacent buffers at
+//! the start, the firing occupies the task for its worst-case response
+//! time `κ(w)`, consumed containers are freed and produced containers
+//! become full on all adjacent buffers at the finish.  Every
+//! unconstrained task runs *self-timed* — it fires as soon as it is
+//! enabled.
 //!
 //! The throughput-constrained endpoint (sink or source) can run in two
 //! modes:
@@ -226,11 +229,11 @@ pub struct FiringRecord {
     pub start: Rational,
     /// Finish time (productions and frees land here).
     pub finish: Rational,
-    /// Consumption quantum drawn for this firing (0 when the task has no
-    /// input buffer).
+    /// Total containers consumed by this firing, summed over all input
+    /// buffers (0 when the task has none).
     pub consumed: u64,
-    /// Production quantum drawn for this firing (0 when the task has no
-    /// output buffer).
+    /// Total containers produced by this firing, summed over all output
+    /// buffers (0 when the task has none).
     pub produced: u64,
 }
 
@@ -292,9 +295,11 @@ pub struct SimReport {
     pub violations: Vec<Violation>,
     /// Endpoint statistics.
     pub endpoint: EndpointStats,
-    /// Per-buffer statistics, in chain order.
+    /// Per-buffer statistics, in the validated DAG's buffer order
+    /// (source-to-sink for a chain).
     pub buffers: Vec<BufferStats>,
-    /// Per-task statistics, in chain order.
+    /// Per-task statistics, in topological order (chain order for a
+    /// chain).
     pub tasks: Vec<TaskStats>,
     /// Recorded firings, per [`TraceLevel`].
     pub trace: Vec<FiringRecord>,
@@ -347,12 +352,6 @@ impl PartialOrd for Event {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
-enum TaskState {
-    Idle,
-    Busy { consumed: u64, produced: u64 },
-}
-
 struct BufState {
     id: BufferId,
     tokens: u64,
@@ -361,6 +360,10 @@ struct BufState {
     max_occupancy: u64,
     produced: u64,
     consumed: u64,
+    /// Position of the producing task in the engine's task vector.
+    producer_pos: usize,
+    /// Position of the consuming task in the engine's task vector.
+    consumer_pos: usize,
     /// The producer side's quantum sequence, pre-compiled for this run.
     production: CompiledQuantum,
     /// The consumer side's quantum sequence, pre-compiled for this run.
@@ -371,11 +374,23 @@ struct TaskCtx {
     id: TaskId,
     /// Response time `κ(w)` in ticks; fits `u64`, widened for arithmetic.
     rho: i128,
-    /// Index into the buffer-state vector, if the task has an input.
-    input: Option<usize>,
-    /// Index into the buffer-state vector, if the task has an output.
-    output: Option<usize>,
-    state: TaskState,
+    /// Buffer-state indices of the task's input buffers, in connection
+    /// order (a firing needs data on every one).
+    inputs: Vec<usize>,
+    /// Buffer-state indices of the task's output buffers, in connection
+    /// order (a firing needs space on every one).
+    outputs: Vec<usize>,
+    /// Whether a firing is in flight.
+    busy: bool,
+    /// Per-edge quanta of the next/in-flight firing, parallel to
+    /// `inputs` / `outputs`.  [`Simulator::startable`] draws each edge's
+    /// quantum exactly once into these slots while checking the enable
+    /// condition; a start and its finish then read them back, so the
+    /// hot loop pays one compiled draw per edge per check, as the chain
+    /// engine did.  Sound because at most one firing is in flight and a
+    /// busy task returns from `startable` before any slot is touched.
+    claimed_in: Vec<u64>,
+    claimed_out: Vec<u64>,
     started: u64,
     finished: u64,
     busy_ticks: i128,
@@ -421,9 +436,10 @@ struct TickRecord {
 pub struct Simulator<'a> {
     tg: &'a TaskGraph,
     config: SimConfig,
+    /// Tasks in the validated topological order of [`TaskGraph::dag`].
     tasks: Vec<TaskCtx>,
     buffers: Vec<BufState>,
-    /// Chain position of the constrained endpoint in `tasks`.
+    /// Position of the constrained endpoint in `tasks`.
     endpoint: usize,
     /// Ticks per time unit: the LCM of every denominator in the run.
     tick_den: i128,
@@ -450,13 +466,15 @@ pub struct Simulator<'a> {
 }
 
 impl<'a> Simulator<'a> {
-    /// Builds a simulator over a chain whose buffer capacities `ζ(b)` are
-    /// all set (use [`vrdf_core::ChainAnalysis::apply`] or
+    /// Builds a simulator over a task graph (chain or fork/join DAG)
+    /// whose buffer capacities `ζ(b)` are all set (use
+    /// [`vrdf_core::GraphAnalysis::apply`] or
     /// [`TaskGraph::set_capacity`]).
     ///
     /// # Errors
     ///
-    /// * [`SimError::Analysis`] — the graph is not a valid chain.
+    /// * [`SimError::Analysis`] — the graph is not a valid DAG, or the
+    ///   constrained endpoint is ambiguous.
     /// * [`SimError::CapacityUnset`] — a buffer has no capacity.
     /// * [`SimError::QuantumNotInSet`] / [`SimError::EmptyCycle`] — the
     ///   plan draws values outside a buffer's quantum set.
@@ -467,7 +485,7 @@ impl<'a> Simulator<'a> {
         plan: QuantumPlan,
         config: SimConfig,
     ) -> Result<Simulator<'a>, SimError> {
-        let chain = tg.chain().map_err(SimError::Analysis)?;
+        let dag = tg.dag().map_err(SimError::Analysis)?;
         plan.validate(tg)?;
 
         // One shared tick denominator for every time in the run.
@@ -490,7 +508,7 @@ impl<'a> Simulator<'a> {
             if let Some(max_time) = config.max_time {
                 fold(max_time, "max_time")?;
             }
-            for &tid in chain.tasks() {
+            for &tid in dag.tasks() {
                 fold(tg.task(tid).response_time(), tg.task(tid).name())?;
             }
         }
@@ -508,8 +526,19 @@ impl<'a> Simulator<'a> {
             Ok(ticks)
         };
 
-        let mut buffers = Vec::with_capacity(chain.buffers().len());
-        for &bid in chain.buffers() {
+        // Positions: task `pos` is `dag.tasks()[pos]`; buffer state `bi`
+        // is `dag.buffers()[bi]`.
+        let mut task_pos = vec![0usize; tg.task_count()];
+        for (pos, &tid) in dag.tasks().iter().enumerate() {
+            task_pos[tid.index()] = pos;
+        }
+        let mut buf_pos = vec![0usize; tg.buffer_count()];
+        for (bi, &bid) in dag.buffers().iter().enumerate() {
+            buf_pos[bid.index()] = bi;
+        }
+
+        let mut buffers = Vec::with_capacity(dag.buffers().len());
+        for &bid in dag.buffers() {
             let buffer = tg.buffer(bid);
             let capacity = buffer.capacity().ok_or_else(|| SimError::CapacityUnset {
                 buffer: buffer.name().to_owned(),
@@ -522,30 +551,45 @@ impl<'a> Simulator<'a> {
                 max_occupancy: 0,
                 produced: 0,
                 consumed: 0,
+                producer_pos: task_pos[buffer.producer().index()],
+                consumer_pos: task_pos[buffer.consumer().index()],
                 production: plan.compile(buffer.production(), bid.index(), Side::Production),
                 consumption: plan.compile(buffer.consumption(), bid.index(), Side::Consumption),
             });
         }
 
-        let mut tasks = Vec::with_capacity(chain.tasks().len());
-        for (pos, &tid) in chain.tasks().iter().enumerate() {
+        let mut tasks = Vec::with_capacity(dag.tasks().len());
+        for &tid in dag.tasks() {
             let task = tg.task(tid);
+            let inputs: Vec<usize> = tg
+                .input_buffers(tid)
+                .iter()
+                .map(|b| buf_pos[b.index()])
+                .collect();
+            let outputs: Vec<usize> = tg
+                .output_buffers(tid)
+                .iter()
+                .map(|b| buf_pos[b.index()])
+                .collect();
             tasks.push(TaskCtx {
                 id: tid,
                 rho: to_ticks(task.response_time(), task.name())?,
-                input: pos.checked_sub(1),
-                output: (pos < chain.buffers().len()).then_some(pos),
-                state: TaskState::Idle,
+                claimed_in: vec![0; inputs.len()],
+                claimed_out: vec![0; outputs.len()],
+                inputs,
+                outputs,
+                busy: false,
                 started: 0,
                 finished: 0,
                 busy_ticks: 0,
             });
         }
 
-        let endpoint = match config.constraint.location() {
-            ConstraintLocation::Sink => tasks.len() - 1,
-            ConstraintLocation::Source => 0,
+        let endpoint_task = match config.constraint.location() {
+            ConstraintLocation::Sink => dag.unique_sink(tg).map_err(SimError::Analysis)?,
+            ConstraintLocation::Source => dag.unique_source(tg).map_err(SimError::Analysis)?,
         };
+        let endpoint = task_pos[endpoint_task.index()];
         let period = to_ticks(config.constraint.period(), "period")?;
         let offset = offset_rat.map(|o| to_ticks(o, "offset")).transpose()?;
         let max_time = config
@@ -601,88 +645,98 @@ impl<'a> Simulator<'a> {
         });
     }
 
-    /// The quanta firing `k` of the task at chain position `pos` would
-    /// transfer; a compiled-policy draw, no set lookups.
-    #[inline]
-    fn quanta_for(&self, pos: usize, k: u64) -> (u64, u64) {
-        let task = &self.tasks[pos];
-        let consumed = task
-            .input
-            .map_or(0, |bi| self.buffers[bi].consumption.draw(k));
-        let produced = task
-            .output
-            .map_or(0, |bi| self.buffers[bi].production.draw(k));
-        (consumed, produced)
-    }
-
     /// Whether the task at `pos` can start its next firing right now:
-    /// `Ok` with the firing's quanta (so the caller need not draw them
-    /// again), or `Err` with why not.  `honor_release` controls whether a
+    /// `Err` with the first blocking condition (inputs in connection
+    /// order, then outputs), `Ok` when every adjacent buffer can serve
+    /// the firing's per-edge quanta.  `honor_release` controls whether a
     /// periodic endpoint is held back between releases.
-    fn startable(&self, pos: usize, honor_release: bool) -> Result<(u64, u64), BlockReason> {
-        let task = &self.tasks[pos];
-        if matches!(task.state, TaskState::Busy { .. }) {
+    ///
+    /// Each edge's quantum is drawn exactly once here, into the task's
+    /// `claimed_in` / `claimed_out` scratch, where a subsequent
+    /// [`start_firing`](Self::start_firing) and its finish read it back
+    /// — the hot loop's only compiled-policy draws.
+    fn startable(&mut self, pos: usize, honor_release: bool) -> Result<(), BlockReason> {
+        if self.tasks[pos].busy {
             return Err(BlockReason::Busy);
         }
         if pos == self.endpoint {
-            if task.started >= self.config.max_endpoint_firings {
+            let started = self.tasks[pos].started;
+            if started >= self.config.max_endpoint_firings {
                 return Err(BlockReason::NotReleased);
             }
-            if honor_release && self.offset.is_some() && task.started >= self.releases_issued {
+            if honor_release && self.offset.is_some() && started >= self.releases_issued {
                 return Err(BlockReason::NotReleased);
             }
         }
-        let (consumed, produced) = self.quanta_for(pos, task.started);
-        if let Some(bi) = task.input {
+        let k = self.tasks[pos].started;
+        for i in 0..self.tasks[pos].inputs.len() {
+            let bi = self.tasks[pos].inputs[i];
             let b = &self.buffers[bi];
-            if b.tokens < consumed {
+            let need = b.consumption.draw(k);
+            self.tasks[pos].claimed_in[i] = need;
+            let b = &self.buffers[bi];
+            if b.tokens < need {
                 return Err(BlockReason::NeedTokens {
                     buffer: b.id,
                     have: b.tokens,
-                    need: consumed,
+                    need,
                 });
             }
         }
-        if let Some(bi) = task.output {
+        for i in 0..self.tasks[pos].outputs.len() {
+            let bi = self.tasks[pos].outputs[i];
             let b = &self.buffers[bi];
-            if b.space < produced {
+            let need = b.production.draw(k);
+            self.tasks[pos].claimed_out[i] = need;
+            let b = &self.buffers[bi];
+            if b.space < need {
                 return Err(BlockReason::NeedSpace {
                     buffer: b.id,
                     have: b.space,
-                    need: produced,
+                    need,
                 });
             }
         }
-        Ok((consumed, produced))
+        Ok(())
     }
 
-    fn start_firing(&mut self, pos: usize, consumed: u64, produced: u64) {
+    /// Starts the firing whose per-edge quanta the immediately preceding
+    /// successful [`startable`](Self::startable) left in the task's
+    /// scratch.
+    fn start_firing(&mut self, pos: usize) {
         let k = self.tasks[pos].started;
         let immediate_free =
             pos == self.endpoint && self.config.release == ConstrainedRelease::Immediate;
-        if let Some(bi) = self.tasks[pos].input {
+        let mut consumed = 0u64;
+        let mut produced = 0u64;
+        for i in 0..self.tasks[pos].inputs.len() {
+            let bi = self.tasks[pos].inputs[i];
+            let c = self.tasks[pos].claimed_in[i];
             let b = &mut self.buffers[bi];
-            b.tokens -= consumed;
-            b.consumed += consumed;
+            b.tokens -= c;
+            b.consumed += c;
+            consumed += c;
             if immediate_free {
-                b.space += consumed;
+                b.space += c;
                 // Space freed upstream can enable the producer.
-                if pos > 0 {
-                    self.dirty[pos - 1] = true;
-                }
+                let producer = b.producer_pos;
+                self.dirty[producer] = true;
             }
         }
-        if let Some(bi) = self.tasks[pos].output {
+        for i in 0..self.tasks[pos].outputs.len() {
+            let bi = self.tasks[pos].outputs[i];
+            let p = self.tasks[pos].claimed_out[i];
             let b = &mut self.buffers[bi];
-            b.space -= produced;
+            b.space -= p;
             b.max_occupancy = b.max_occupancy.max(b.capacity - b.space);
+            produced += p;
         }
         let start = self.now;
         let rho = self.tasks[pos].rho;
         let finish = start + rho;
         {
             let task = &mut self.tasks[pos];
-            task.state = TaskState::Busy { consumed, produced };
+            task.busy = true;
             task.started += 1;
             task.busy_ticks += rho;
         }
@@ -721,35 +775,38 @@ impl<'a> Simulator<'a> {
     }
 
     fn apply_finish(&mut self, pos: usize) {
-        let (consumed, produced) = match self.tasks[pos].state {
-            TaskState::Busy { consumed, produced } => (consumed, produced),
-            TaskState::Idle => unreachable!("finish event for an idle task"),
-        };
+        debug_assert!(self.tasks[pos].busy, "finish event for an idle task");
+        // The firing completing now is the one started last (at most one
+        // is ever in flight), so its quanta still sit in the scratch —
+        // a busy task never reaches the scratch writes in `startable`.
         let immediate_free =
             pos == self.endpoint && self.config.release == ConstrainedRelease::Immediate;
-        if let Some(bi) = self.tasks[pos].input {
-            if !immediate_free {
-                self.buffers[bi].space += consumed;
+        if !immediate_free {
+            for i in 0..self.tasks[pos].inputs.len() {
+                let bi = self.tasks[pos].inputs[i];
+                let c = self.tasks[pos].claimed_in[i];
+                let b = &mut self.buffers[bi];
+                b.space += c;
+                // Space freed upstream can enable the producer.
+                let producer = b.producer_pos;
+                self.dirty[producer] = true;
             }
         }
-        if let Some(bi) = self.tasks[pos].output {
+        for i in 0..self.tasks[pos].outputs.len() {
+            let bi = self.tasks[pos].outputs[i];
+            let p = self.tasks[pos].claimed_out[i];
             let b = &mut self.buffers[bi];
-            b.tokens += produced;
-            b.produced += produced;
+            b.tokens += p;
+            b.produced += p;
+            // Tokens produced downstream can enable the consumer.
+            let consumer = b.consumer_pos;
+            self.dirty[consumer] = true;
         }
         let task = &mut self.tasks[pos];
-        task.state = TaskState::Idle;
+        task.busy = false;
         task.finished += 1;
-        // The finish can enable the task itself (now idle), its upstream
-        // producer (space freed), and its downstream consumer (tokens
-        // produced).
-        if pos > 0 {
-            self.dirty[pos - 1] = true;
-        }
+        // The task itself is enabled again now that it is idle.
         self.dirty[pos] = true;
-        if pos + 1 < self.dirty.len() {
-            self.dirty[pos + 1] = true;
-        }
     }
 
     /// Starts every startable task; returns whether anything started.
@@ -758,8 +815,9 @@ impl<'a> Simulator<'a> {
     fn try_starts(&mut self) -> bool {
         let mut any = false;
         // Sweep until stable: one start can enable a neighbour at the same
-        // instant (e.g. a zero-response-time handoff).  Position order
-        // matches the reference engine so traces stay identical.
+        // instant (e.g. a zero-response-time handoff).  Topological
+        // position order matches the reference engine so traces stay
+        // identical.
         loop {
             let mut progressed = false;
             for pos in 0..self.tasks.len() {
@@ -767,8 +825,8 @@ impl<'a> Simulator<'a> {
                     continue;
                 }
                 self.dirty[pos] = false;
-                if let Ok((consumed, produced)) = self.startable(pos, true) {
-                    self.start_firing(pos, consumed, produced);
+                if self.startable(pos, true).is_ok() {
+                    self.start_firing(pos);
                     progressed = true;
                     any = true;
                 }
@@ -926,13 +984,12 @@ impl<'a> Simulator<'a> {
                     self.now = event.time;
                 }
                 None => {
-                    let blocked = (0..self.tasks.len())
-                        .filter_map(|pos| {
-                            self.startable(pos, true)
-                                .err()
-                                .map(|reason| (self.tasks[pos].id, reason))
-                        })
-                        .collect();
+                    let mut blocked = Vec::new();
+                    for pos in 0..self.tasks.len() {
+                        if let Err(reason) = self.startable(pos, true) {
+                            blocked.push((self.tasks[pos].id, reason));
+                        }
+                    }
                     return SimOutcome::Deadlock {
                         time: self.rational(self.now),
                         blocked,

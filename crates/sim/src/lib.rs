@@ -1,13 +1,13 @@
 //! # vrdf-sim — self-timed simulation of VRDF task chains
 //!
 //! The companion executor to [`vrdf_core`]: a discrete-event, self-timed
-//! simulator of chain-shaped [`vrdf_core::TaskGraph`]s over bounded FIFO
-//! buffers with back-pressure.  Where `vrdf-core` *derives* buffer
-//! capacities that are sufficient for a throughput constraint,
-//! `vrdf-sim` *executes* the chain — with pluggable per-firing quantum
-//! sequences ([`QuantumPlan`]) and the constrained endpoint either
-//! self-timed or forced strictly periodic — and checks the constraint
-//! operationally.  This reproduces the paper's own validation method: the
+//! simulator of fork/join [`vrdf_core::TaskGraph`]s (chains included)
+//! over bounded FIFO buffers with back-pressure.  Where `vrdf-core`
+//! *derives* buffer capacities that are sufficient for a throughput
+//! constraint, `vrdf-sim` *executes* the graph — with pluggable
+//! per-firing quantum sequences ([`QuantumPlan`]) and the constrained
+//! endpoint either self-timed or forced strictly periodic — and checks
+//! the constraint operationally.  This reproduces the paper's own validation method: the
 //! MP3 chain of Section 5 was verified by self-timed simulation.
 //!
 //! ## Layers
@@ -74,11 +74,12 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum SimError {
-    /// The task graph is not a valid chain (or another analysis-level
-    /// defect); carries the underlying [`vrdf_core::AnalysisError`].
+    /// The task graph is not a valid DAG, its constrained endpoint is
+    /// ambiguous, or another analysis-level defect; carries the
+    /// underlying [`vrdf_core::AnalysisError`].
     Analysis(vrdf_core::AnalysisError),
     /// A buffer has no capacity `ζ(b)` assigned; run the analysis and
-    /// [`vrdf_core::ChainAnalysis::apply`] it, or set one explicitly.
+    /// [`vrdf_core::GraphAnalysis::apply`] it, or set one explicitly.
     CapacityUnset {
         /// The capacity-less buffer.
         buffer: String,
@@ -111,7 +112,7 @@ pub enum SimError {
 impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            SimError::Analysis(e) => write!(f, "invalid chain: {e}"),
+            SimError::Analysis(e) => write!(f, "invalid task graph: {e}"),
             SimError::CapacityUnset { buffer } => {
                 write!(f, "buffer `{buffer}` has no capacity assigned")
             }
@@ -159,7 +160,7 @@ mod tests {
     #[test]
     fn error_display_and_source() {
         let e = SimError::Analysis(vrdf_core::AnalysisError::EmptyGraph);
-        assert!(e.to_string().contains("invalid chain"));
+        assert!(e.to_string().contains("invalid task graph"));
         assert!(std::error::Error::source(&e).is_some());
         let e = SimError::CapacityUnset {
             buffer: "d1".into(),

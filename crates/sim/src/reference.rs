@@ -53,12 +53,6 @@ impl PartialOrd for Event {
     }
 }
 
-#[derive(Clone, Copy, Debug)]
-enum TaskState {
-    Idle,
-    Busy { consumed: u64, produced: u64 },
-}
-
 struct BufState {
     id: BufferId,
     tokens: u64,
@@ -72,9 +66,13 @@ struct BufState {
 struct TaskCtx {
     id: TaskId,
     rho: Rational,
-    input: Option<usize>,
-    output: Option<usize>,
-    state: TaskState,
+    /// Buffer-state indices of the task's input buffers, in connection
+    /// order.
+    inputs: Vec<usize>,
+    /// Buffer-state indices of the task's output buffers, in connection
+    /// order.
+    outputs: Vec<usize>,
+    busy: bool,
     started: u64,
     finished: u64,
     busy_time: Rational,
@@ -121,11 +119,23 @@ impl<'a> ReferenceSimulator<'a> {
         plan: QuantumPlan,
         config: SimConfig,
     ) -> Result<ReferenceSimulator<'a>, SimError> {
-        let chain = tg.chain().map_err(SimError::Analysis)?;
+        let dag = tg.dag().map_err(SimError::Analysis)?;
         plan.validate(tg)?;
 
-        let mut buffers = Vec::with_capacity(chain.buffers().len());
-        for &bid in chain.buffers() {
+        let mut task_pos = vec![0usize; tg.task_count()];
+        for (pos, &tid) in dag.tasks().iter().enumerate() {
+            task_pos[tid.index()] = pos;
+        }
+        // The reference engine rescans every task when settling an
+        // instant, so unlike the tick engine it needs no per-buffer
+        // producer/consumer back-pointers.
+        let mut buf_pos = vec![0usize; tg.buffer_count()];
+        for (bi, &bid) in dag.buffers().iter().enumerate() {
+            buf_pos[bid.index()] = bi;
+        }
+
+        let mut buffers = Vec::with_capacity(dag.buffers().len());
+        for &bid in dag.buffers() {
             let buffer = tg.buffer(bid);
             let capacity = buffer.capacity().ok_or_else(|| SimError::CapacityUnset {
                 buffer: buffer.name().to_owned(),
@@ -141,24 +151,33 @@ impl<'a> ReferenceSimulator<'a> {
             });
         }
 
-        let mut tasks = Vec::with_capacity(chain.tasks().len());
-        for (pos, &tid) in chain.tasks().iter().enumerate() {
+        let mut tasks = Vec::with_capacity(dag.tasks().len());
+        for &tid in dag.tasks() {
             tasks.push(TaskCtx {
                 id: tid,
                 rho: tg.task(tid).response_time(),
-                input: pos.checked_sub(1),
-                output: (pos < chain.buffers().len()).then_some(pos),
-                state: TaskState::Idle,
+                inputs: tg
+                    .input_buffers(tid)
+                    .iter()
+                    .map(|b| buf_pos[b.index()])
+                    .collect(),
+                outputs: tg
+                    .output_buffers(tid)
+                    .iter()
+                    .map(|b| buf_pos[b.index()])
+                    .collect(),
+                busy: false,
                 started: 0,
                 finished: 0,
                 busy_time: Rational::ZERO,
             });
         }
 
-        let endpoint = match config.constraint.location() {
-            ConstraintLocation::Sink => tasks.len() - 1,
-            ConstraintLocation::Source => 0,
+        let endpoint_task = match config.constraint.location() {
+            ConstraintLocation::Sink => dag.unique_sink(tg).map_err(SimError::Analysis)?,
+            ConstraintLocation::Source => dag.unique_source(tg).map_err(SimError::Analysis)?,
         };
+        let endpoint = task_pos[endpoint_task.index()];
         let period = config.constraint.period();
 
         let mut sim = ReferenceSimulator {
@@ -199,31 +218,31 @@ impl<'a> ReferenceSimulator<'a> {
         });
     }
 
-    fn quanta_for(&self, pos: usize, k: u64) -> (u64, u64) {
-        let consumed = self.tasks[pos].input.map_or(0, |bi| {
-            let buffer = self.tg.buffer(self.buffers[bi].id);
-            self.plan.draw(
-                buffer.consumption(),
-                self.buffers[bi].id.index(),
-                Side::Consumption,
-                k,
-            )
-        });
-        let produced = self.tasks[pos].output.map_or(0, |bi| {
-            let buffer = self.tg.buffer(self.buffers[bi].id);
-            self.plan.draw(
-                buffer.production(),
-                self.buffers[bi].id.index(),
-                Side::Production,
-                k,
-            )
-        });
-        (consumed, produced)
+    /// The consumption quantum firing `k` draws on buffer state `bi`.
+    fn consumption_quantum(&self, bi: usize, k: u64) -> u64 {
+        let id = self.buffers[bi].id;
+        self.plan.draw(
+            self.tg.buffer(id).consumption(),
+            id.index(),
+            Side::Consumption,
+            k,
+        )
     }
 
-    fn startable(&self, pos: usize, honor_release: bool) -> Result<(u64, u64), BlockReason> {
+    /// The production quantum firing `k` draws on buffer state `bi`.
+    fn production_quantum(&self, bi: usize, k: u64) -> u64 {
+        let id = self.buffers[bi].id;
+        self.plan.draw(
+            self.tg.buffer(id).production(),
+            id.index(),
+            Side::Production,
+            k,
+        )
+    }
+
+    fn startable(&self, pos: usize, honor_release: bool) -> Result<(), BlockReason> {
         let task = &self.tasks[pos];
-        if matches!(task.state, TaskState::Busy { .. }) {
+        if task.busy {
             return Err(BlockReason::Busy);
         }
         if pos == self.endpoint {
@@ -240,53 +259,63 @@ impl<'a> ReferenceSimulator<'a> {
                 return Err(BlockReason::NotReleased);
             }
         }
-        let (consumed, produced) = self.quanta_for(pos, task.started);
-        if let Some(bi) = task.input {
+        let k = task.started;
+        for &bi in &task.inputs {
+            let need = self.consumption_quantum(bi, k);
             let b = &self.buffers[bi];
-            if b.tokens < consumed {
+            if b.tokens < need {
                 return Err(BlockReason::NeedTokens {
                     buffer: b.id,
                     have: b.tokens,
-                    need: consumed,
+                    need,
                 });
             }
         }
-        if let Some(bi) = task.output {
+        for &bi in &task.outputs {
+            let need = self.production_quantum(bi, k);
             let b = &self.buffers[bi];
-            if b.space < produced {
+            if b.space < need {
                 return Err(BlockReason::NeedSpace {
                     buffer: b.id,
                     have: b.space,
-                    need: produced,
+                    need,
                 });
             }
         }
-        Ok((consumed, produced))
+        Ok(())
     }
 
-    fn start_firing(&mut self, pos: usize, consumed: u64, produced: u64) {
+    fn start_firing(&mut self, pos: usize) {
         let k = self.tasks[pos].started;
         let immediate_free =
             pos == self.endpoint && self.config.release == ConstrainedRelease::Immediate;
-        if let Some(bi) = self.tasks[pos].input {
+        let mut consumed = 0u64;
+        let mut produced = 0u64;
+        for i in 0..self.tasks[pos].inputs.len() {
+            let bi = self.tasks[pos].inputs[i];
+            let c = self.consumption_quantum(bi, k);
             let b = &mut self.buffers[bi];
-            b.tokens -= consumed;
-            b.consumed += consumed;
+            b.tokens -= c;
+            b.consumed += c;
+            consumed += c;
             if immediate_free {
-                b.space += consumed;
+                b.space += c;
             }
         }
-        if let Some(bi) = self.tasks[pos].output {
+        for i in 0..self.tasks[pos].outputs.len() {
+            let bi = self.tasks[pos].outputs[i];
+            let p = self.production_quantum(bi, k);
             let b = &mut self.buffers[bi];
-            b.space -= produced;
+            b.space -= p;
             b.max_occupancy = b.max_occupancy.max(b.capacity - b.space);
+            produced += p;
         }
         let start = self.now;
         let rho = self.tasks[pos].rho;
         let finish = start + rho;
         {
             let task = &mut self.tasks[pos];
-            task.state = TaskState::Busy { consumed, produced };
+            task.busy = true;
             task.started += 1;
             task.busy_time += rho;
         }
@@ -325,24 +354,28 @@ impl<'a> ReferenceSimulator<'a> {
     }
 
     fn apply_finish(&mut self, pos: usize) {
-        let (consumed, produced) = match self.tasks[pos].state {
-            TaskState::Busy { consumed, produced } => (consumed, produced),
-            TaskState::Idle => unreachable!("finish event for an idle task"),
-        };
+        debug_assert!(self.tasks[pos].busy, "finish event for an idle task");
+        // At most one firing is in flight, so the one finishing has index
+        // `finished`; quantum draws are pure in that index.
+        let k = self.tasks[pos].finished;
         let immediate_free =
             pos == self.endpoint && self.config.release == ConstrainedRelease::Immediate;
-        if let Some(bi) = self.tasks[pos].input {
-            if !immediate_free {
-                self.buffers[bi].space += consumed;
+        if !immediate_free {
+            for i in 0..self.tasks[pos].inputs.len() {
+                let bi = self.tasks[pos].inputs[i];
+                let c = self.consumption_quantum(bi, k);
+                self.buffers[bi].space += c;
             }
         }
-        if let Some(bi) = self.tasks[pos].output {
+        for i in 0..self.tasks[pos].outputs.len() {
+            let bi = self.tasks[pos].outputs[i];
+            let p = self.production_quantum(bi, k);
             let b = &mut self.buffers[bi];
-            b.tokens += produced;
-            b.produced += produced;
+            b.tokens += p;
+            b.produced += p;
         }
         let task = &mut self.tasks[pos];
-        task.state = TaskState::Idle;
+        task.busy = false;
         task.finished += 1;
     }
 
@@ -351,8 +384,8 @@ impl<'a> ReferenceSimulator<'a> {
         loop {
             let mut progressed = false;
             for pos in 0..self.tasks.len() {
-                if let Ok((consumed, produced)) = self.startable(pos, true) {
-                    self.start_firing(pos, consumed, produced);
+                if self.startable(pos, true).is_ok() {
+                    self.start_firing(pos);
                     progressed = true;
                     any = true;
                 }

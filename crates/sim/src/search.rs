@@ -26,7 +26,7 @@
 
 use std::fmt;
 
-use vrdf_core::{BufferId, ChainAnalysis, Rational, TaskGraph};
+use vrdf_core::{BufferId, GraphAnalysis, Rational, TaskGraph};
 
 use crate::validate::{
     conservative_offset, validate_assigned_capacities, ValidationOptions, ValidationReport,
@@ -96,7 +96,8 @@ pub struct MinimizationReport {
     /// `false` no probes were attempted and every `minimal` equals its
     /// `assigned` — a false baseline would make every "minimum" vacuous.
     pub baseline_clear: bool,
-    /// One entry per chain edge, in source-to-sink order.
+    /// One entry per edge, in the analysis' buffer order (source-to-sink
+    /// for a chain).
     pub edges: Vec<EdgeMinimum>,
     /// Coordinate-descent passes run (including the final confirming
     /// pass that changed nothing).
@@ -108,7 +109,7 @@ pub struct MinimizationReport {
 }
 
 impl MinimizationReport {
-    /// The search outcome for a specific buffer, if it is a chain edge.
+    /// The search outcome for a specific buffer, if it is an analysed edge.
     pub fn minimum_of(&self, buffer: BufferId) -> Option<&EdgeMinimum> {
         self.edges.iter().find(|e| e.buffer == buffer)
     }
@@ -123,7 +124,7 @@ impl MinimizationReport {
         self.edges.iter().map(|e| e.minimal).sum()
     }
 
-    /// Total containers Eq. (4) over-provisions across the chain.
+    /// Total containers Eq. (4) over-provisions across the graph.
     pub fn total_gap(&self) -> u64 {
         self.total_assigned() - self.total_minimal()
     }
@@ -167,11 +168,11 @@ impl fmt::Display for MinimizationReport {
     }
 }
 
-/// One feasibility probe: the chain with `capacities` assigned, replayed
+/// One feasibility probe: the graph with `capacities` assigned, replayed
 /// against the full battery, stopping scenarios at their first violation.
 fn probe(
     tg: &TaskGraph,
-    analysis: &ChainAnalysis,
+    analysis: &GraphAnalysis,
     offset: Rational,
     opts: &SearchOptions,
     capacities: &[(BufferId, u64)],
@@ -190,9 +191,10 @@ fn probe(
     )
 }
 
-/// Searches, per chain edge, the smallest buffer capacity that still
-/// survives the scenario battery, starting from the Eq. (4) assignment
-/// and coordinate-descending until no edge can shrink further.
+/// Searches, per edge of the analysed graph (chain or fork/join DAG),
+/// the smallest buffer capacity that still survives the scenario battery,
+/// starting from the Eq. (4) assignment and coordinate-descending until
+/// no edge can shrink further.
 ///
 /// See the module docs for the algorithm and the meaning of
 /// "operational minimum".  The input graph is never mutated; all probes
@@ -200,7 +202,7 @@ fn probe(
 ///
 /// # Errors
 ///
-/// Propagates [`SimError`] from simulator construction (e.g. a non-chain
+/// Propagates [`SimError`] from simulator construction (e.g. a cyclic
 /// graph).  Probe *failures* are not errors — they steer the search.
 ///
 /// # Examples
@@ -226,12 +228,12 @@ fn probe(
 /// ```
 pub fn minimize_capacities(
     tg: &TaskGraph,
-    analysis: &ChainAnalysis,
+    analysis: &GraphAnalysis,
     opts: &SearchOptions,
 ) -> Result<MinimizationReport, SimError> {
     let offset = conservative_offset(tg, analysis) + opts.validation.extra_offset;
 
-    // Working assignment, one slot per chain edge in chain order.
+    // Working assignment, one slot per edge in the analysis' order.
     let mut current: Vec<(BufferId, u64)> = analysis
         .capacities()
         .iter()

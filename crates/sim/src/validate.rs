@@ -1,8 +1,9 @@
 //! Cross-validation of the analysis against simulation — the paper's own
 //! verification method (Section 5), turned into an executable oracle.
 //!
-//! [`validate_capacities`] takes a [`TaskGraph`] and the [`ChainAnalysis`]
-//! that `vrdf-core` computed for it, applies the computed capacities, and
+//! [`validate_capacities`] takes a [`TaskGraph`] (chain or fork/join DAG)
+//! and the [`GraphAnalysis`] that `vrdf-core` computed for it, applies the
+//! computed capacities, and
 //! replays a battery of admissible quantum scenarios (all-max, all-min,
 //! min/max cycling, seeded-random) with the throughput-constrained
 //! endpoint forced strictly periodic.  The sufficiency theorem says no
@@ -23,7 +24,7 @@
 
 use std::fmt;
 
-use vrdf_core::{ChainAnalysis, ConstraintLocation, Rational, TaskGraph, ThroughputConstraint};
+use vrdf_core::{ConstraintLocation, GraphAnalysis, Rational, TaskGraph, ThroughputConstraint};
 
 use crate::engine::{SimConfig, SimOutcome, SimReport, Simulator, TraceLevel, Violation};
 use crate::policy::{QuantumPlan, QuantumPolicy};
@@ -198,11 +199,12 @@ impl fmt::Display for ValidationReport {
 /// End-to-end, a container spends at most the sum of all response times
 /// executing and at most `ζ(b) · t_b` queued in each buffer `b` draining
 /// at its bound rate, so releasing the endpoint one period after that
-/// total can always be met.  By VRDF linearity (Definition 2 of the
+/// total can always be met; on a fork/join DAG this sums over *all*
+/// tasks and buffers, which dominates every source-to-sink path.  By VRDF linearity (Definition 2 of the
 /// paper), feasibility at some offset implies feasibility at every larger
 /// one, so overshooting the minimal offset is safe — it can never turn a
 /// sufficient capacity assignment into a missing one.
-pub fn conservative_offset(tg: &TaskGraph, analysis: &ChainAnalysis) -> Rational {
+pub fn conservative_offset(tg: &TaskGraph, analysis: &GraphAnalysis) -> Rational {
     let constraint = analysis.constraint();
     if constraint.location() == ConstraintLocation::Source {
         // The source only needs empty containers and every buffer starts
@@ -292,7 +294,7 @@ fn scenario_plans(tg: &TaskGraph, opts: &ValidationOptions) -> Vec<(String, Quan
 /// ```
 pub fn validate_capacities(
     tg: &TaskGraph,
-    analysis: &ChainAnalysis,
+    analysis: &GraphAnalysis,
     opts: &ValidationOptions,
 ) -> Result<ValidationReport, SimError> {
     let mut sized = tg.clone();

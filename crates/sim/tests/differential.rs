@@ -1,21 +1,32 @@
-//! Differential testing: the integer tick-time engine must be observably
-//! identical to the exact-`Rational` reference executor.
+//! Differential testing, two independent axes:
 //!
-//! The tick rescaling is exact (the clock is the LCM of every denominator
-//! in the run), so there is no tolerance anywhere in these comparisons:
-//! firing traces, violations, outcomes, endpoint statistics, buffer
-//! statistics, and event counts must match bit for bit — on the MP3 case
-//! study and on a battery of seeded random chains, under worst-case,
-//! cyclic, and seeded-random quantum scenarios, in both self-timed and
-//! strictly periodic modes, including under-provisioned runs that end in
-//! deadline misses or deadlock.
+//! 1. **Tick vs reference engine**: the integer tick-time engine must be
+//!    observably identical to the exact-`Rational` reference executor.
+//!    The tick rescaling is exact (the clock is the LCM of every
+//!    denominator in the run), so there is no tolerance anywhere in
+//!    these comparisons: firing traces, violations, outcomes, endpoint
+//!    statistics, buffer statistics, and event counts must match bit for
+//!    bit — on the MP3 case study, its fork/join variant, and batteries
+//!    of seeded random chains and DAGs, under worst-case, cyclic, and
+//!    seeded-random quantum scenarios, in both self-timed and strictly
+//!    periodic modes, including under-provisioned runs that end in
+//!    deadline misses or deadlock.
+//! 2. **DagView vs ChainView analysis path**: on every linear graph the
+//!    general DAG analysis (`compute_buffer_capacities`, topological
+//!    propagation with binding minima) must be bit-identical to the
+//!    retained chain walk (`compute_buffer_capacities_via_chain`) —
+//!    capacities with all intermediates, per-task `φ`, violations, and
+//!    the minimization verdicts built on top of them.
 
-use vrdf_apps::synthetic::{random_chain, ChainSpec};
-use vrdf_apps::{mp3_chain, mp3_constraint};
-use vrdf_core::{compute_buffer_capacities, Rational, TaskGraph};
+use vrdf_apps::synthetic::{random_chain, random_dag, ChainSpec, DagSpec};
+use vrdf_apps::{mp3_chain, mp3_constraint, mp3_fork_join};
+use vrdf_core::{
+    compute_buffer_capacities, compute_buffer_capacities_via_chain, AnalysisOptions,
+    ConstrainedRelease, Rational, TaskGraph, ThroughputConstraint,
+};
 use vrdf_sim::{
-    conservative_offset, QuantumPlan, QuantumPolicy, ReferenceSimulator, SimConfig, SimReport,
-    Simulator, TraceLevel,
+    conservative_offset, minimize_capacities, QuantumPlan, QuantumPolicy, ReferenceSimulator,
+    SearchOptions, SimConfig, SimReport, Simulator, TraceLevel, ValidationOptions,
 };
 
 /// Asserts two reports are observably identical.
@@ -232,6 +243,174 @@ fn event_budget_exhaustion_is_identical_across_engines() {
         &config,
         "budget exhaustion",
     );
+}
+
+/// Asserts the DAG analysis path and the chain analysis path produced
+/// bit-identical results for a linear graph.
+fn assert_analysis_identical(tg: &TaskGraph, constraint: ThroughputConstraint, context: &str) {
+    for release in [
+        ConstrainedRelease::Immediate,
+        ConstrainedRelease::AfterResponseTime,
+    ] {
+        let options = AnalysisOptions {
+            release,
+            enforce_feasibility: false,
+        };
+        let via_dag = vrdf_core::compute_buffer_capacities_with(tg, constraint, options)
+            .unwrap_or_else(|e| panic!("{context}: dag path failed: {e}"));
+        let via_chain = compute_buffer_capacities_via_chain(tg, constraint, options)
+            .unwrap_or_else(|e| panic!("{context}: chain path failed: {e}"));
+        // Every published field of every capacity, bit for bit.
+        assert_eq!(
+            via_dag.capacities(),
+            via_chain.capacities(),
+            "{context} ({release:?}): capacities"
+        );
+        for (id, _) in tg.tasks() {
+            assert_eq!(
+                via_dag.rates().phi(id),
+                via_chain.rates().phi(id),
+                "{context} ({release:?}): phi of task {id}"
+            );
+        }
+        assert_eq!(via_dag.rates().pairs(), via_chain.rates().pairs());
+        assert_eq!(via_dag.violations(), via_chain.violations());
+        assert_eq!(via_dag.total_capacity(), via_chain.total_capacity());
+    }
+}
+
+#[test]
+fn dag_analysis_path_is_identical_to_chain_path_on_linear_graphs() {
+    assert_analysis_identical(&mp3_chain(), mp3_constraint(), "mp3");
+    let spec = ChainSpec::default();
+    for seed in 0..48 {
+        let (tg, constraint) = random_chain(seed, &spec).unwrap();
+        assert_analysis_identical(&tg, constraint, &format!("random chain seed {seed}"));
+    }
+    // A chain inserted sink-first: the two paths must agree positionally
+    // (DagView orders buffers by producer topo position, not insertion).
+    let mut permuted = TaskGraph::new();
+    let snk = permuted.add_task("snk", Rational::ONE).unwrap();
+    let mid = permuted.add_task("mid", Rational::ONE).unwrap();
+    let src = permuted.add_task("src", Rational::ZERO).unwrap();
+    let q = |v: u64| vrdf_core::QuantumSet::constant(v);
+    permuted.connect("late", mid, snk, q(2), q(2)).unwrap();
+    permuted.connect("early", src, mid, q(3), q(3)).unwrap();
+    let constraint = ThroughputConstraint::on_sink(Rational::from(4u64)).unwrap();
+    assert_analysis_identical(&permuted, constraint, "sink-first insertion order");
+}
+
+#[test]
+fn dag_analysis_path_yields_identical_minimization_verdicts() {
+    // The minimization driver consumes an analysis; feeding it the chain
+    // path's and the DAG path's must land on identical per-edge minima,
+    // probe counts, and gap tables.
+    let opts = SearchOptions {
+        validation: ValidationOptions {
+            endpoint_firings: 300,
+            random_runs: 2,
+            ..ValidationOptions::default()
+        },
+        ..SearchOptions::default()
+    };
+    let spec = ChainSpec::default();
+    for seed in [3, 7, 19] {
+        let (tg, constraint) = random_chain(seed, &spec).unwrap();
+        let via_dag = compute_buffer_capacities(&tg, constraint).unwrap();
+        let via_chain =
+            compute_buffer_capacities_via_chain(&tg, constraint, AnalysisOptions::default())
+                .unwrap();
+        let a = minimize_capacities(&tg, &via_dag, &opts).unwrap();
+        let b = minimize_capacities(&tg, &via_chain, &opts).unwrap();
+        assert_eq!(a.baseline_clear, b.baseline_clear, "seed {seed}");
+        assert_eq!(a.offset, b.offset, "seed {seed}");
+        assert_eq!(a.edges, b.edges, "seed {seed}");
+        assert_eq!(a.probes, b.probes, "seed {seed}");
+        assert_eq!(a.passes, b.passes, "seed {seed}");
+    }
+}
+
+#[test]
+fn fork_join_case_study_is_identical_across_engines() {
+    let tg = mp3_fork_join();
+    let constraint = mp3_constraint();
+    let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
+    let offset = conservative_offset(&tg, &analysis);
+    let mut sized = tg.clone();
+    analysis.apply(&mut sized);
+
+    for (name, plan) in scenario_plans(0xF0) {
+        let mut config = SimConfig::periodic(constraint, offset);
+        config.max_endpoint_firings = 2_000;
+        config.trace = TraceLevel::Endpoint;
+        run_both(
+            &sized,
+            &plan,
+            &config,
+            &format!("fork/join periodic {name}"),
+        );
+
+        let mut config = SimConfig::self_timed(constraint);
+        config.max_endpoint_firings = 2_000;
+        config.trace = TraceLevel::All;
+        run_both(
+            &sized,
+            &plan,
+            &config,
+            &format!("fork/join self-timed {name}"),
+        );
+    }
+
+    // Under-provision one channel buffer: the starvation pattern must be
+    // identical too.
+    let dl = sized.buffer_by_name("dL").unwrap();
+    sized.set_capacity(dl, 1152);
+    let mut config = SimConfig::periodic(constraint, offset);
+    config.max_endpoint_firings = 2_000;
+    config.stop_on_violation = false;
+    config.max_events = 500_000;
+    run_both(
+        &sized,
+        &QuantumPlan::uniform(QuantumPolicy::Max),
+        &config,
+        "fork/join under-provisioned",
+    );
+}
+
+#[test]
+fn random_dag_battery_is_identical_across_engines() {
+    let spec = DagSpec::default();
+    for seed in 0..16 {
+        let (tg, constraint) = random_dag(seed, &spec).unwrap();
+        let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
+        let offset = conservative_offset(&tg, &analysis);
+        let mut sized = tg.clone();
+        analysis.apply(&mut sized);
+
+        for (name, plan) in scenario_plans(seed ^ 0xDA6) {
+            let mut config = SimConfig::periodic(constraint, offset);
+            config.max_endpoint_firings = 250;
+            config.trace = TraceLevel::All;
+            config.max_events = 2_000_000;
+            run_both(
+                &sized,
+                &plan,
+                &config,
+                &format!("dag {seed} periodic {name}"),
+            );
+
+            let mut config = SimConfig::self_timed(constraint);
+            config.max_endpoint_firings = 250;
+            config.trace = TraceLevel::All;
+            config.max_events = 2_000_000;
+            run_both(
+                &sized,
+                &plan,
+                &config,
+                &format!("dag {seed} self-timed {name}"),
+            );
+        }
+    }
 }
 
 #[test]
