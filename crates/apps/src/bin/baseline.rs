@@ -1,0 +1,137 @@
+//! VRDF vs native-SDF baseline comparison on the bundled case studies:
+//! prints the paper's evaluation column side by side — the VRDF Eq. (4)
+//! capacities against the conservative constant-rate sizing computed by
+//! the CSDF substrate — then validates the sized constant-max lowering
+//! operationally in the state-space executor.
+//!
+//! ```console
+//! $ cargo run --release -p vrdf-apps --bin baseline
+//! $ cargo run --release -p vrdf-apps --bin baseline -- --graph fork-join
+//! $ cargo run --release -p vrdf-apps --bin baseline -- --minimize
+//! ```
+//!
+//! `--minimize` additionally searches the operational SDF floor (minimal
+//! per-channel capacities whose self-timed steady state still meets the
+//! throughput constraint).
+//!
+//! Exits non-zero when a case study with published capacities does not
+//! reproduce them, or when the sized lowering fails its own steady-state
+//! check.
+
+use vrdf_apps::{case_study, CASE_STUDY_NAMES};
+use vrdf_core::compute_buffer_capacities;
+use vrdf_sdf::{
+    analyze, baseline_capacities, minimize_sdf_capacities, steady_state, CsdfGraph, ExecOptions,
+    ExecOutcome, SdfSearchOptions,
+};
+
+fn parse<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
+    match value.as_deref().map(str::parse) {
+        Some(Ok(v)) => v,
+        Some(Err(_)) => {
+            eprintln!(
+                "error: {flag} got a malformed value {:?}",
+                value.as_deref().unwrap_or_default()
+            );
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!("error: {flag} requires a value");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let mut graph = "mp3".to_owned();
+    let mut minimize = false;
+    let mut exec = ExecOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--graph" => graph = parse(args.next(), "--graph"),
+            "--minimize" => minimize = true,
+            "--max-events" => exec.max_events = parse(args.next(), "--max-events"),
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                eprintln!(
+                    "usage: baseline [--graph {}] [--minimize] [--max-events N]",
+                    CASE_STUDY_NAMES.join("|")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let Some(study) = case_study(&graph) else {
+        eprintln!(
+            "error: unknown graph `{graph}` (expected one of: {})",
+            CASE_STUDY_NAMES.join(", ")
+        );
+        std::process::exit(2);
+    };
+
+    let vrdf = compute_buffer_capacities(&study.graph, study.constraint)
+        .expect("the case studies are feasible");
+    if let Some(published) = study.published_capacities {
+        let computed: Vec<u64> = vrdf.capacities().iter().map(|c| c.capacity).collect();
+        if computed != published {
+            eprintln!("error: VRDF analysis does not reproduce the published capacities");
+            std::process::exit(1);
+        }
+    }
+    let baseline = baseline_capacities(&study.graph, study.constraint)
+        .expect("the case studies are consistent");
+
+    println!(
+        "{}: VRDF vs native constant-rate (SDF) baseline",
+        study.label
+    );
+    println!(
+        "  {:<8} {:>10} {:>12} {:>6} {:>11} {:>13}",
+        "buffer", "vrdf", "sdf", "over", "spread(pi)", "spread(gamma)"
+    );
+    for (v, b) in vrdf.capacities().iter().zip(baseline.edges()) {
+        assert_eq!(v.buffer, b.buffer, "both analyses walk the same view");
+        println!(
+            "  {:<8} {:>10} {:>12} {:>6} {:>11} {:>13}",
+            b.name,
+            v.capacity,
+            b.capacity,
+            b.over_provision(),
+            b.production_spread,
+            b.consumption_spread,
+        );
+    }
+    let vrdf_total = vrdf.total_capacity();
+    let over = baseline.total_over_provision();
+    println!(
+        "  {:<8} {:>10} {:>12} {:>6}   ({:.1}% over-provisioned)",
+        "total",
+        vrdf_total,
+        baseline.total_capacity(),
+        over,
+        100.0 * over as f64 / vrdf_total as f64,
+    );
+
+    // Operational check: the sized constant-max lowering must sustain
+    // the constraint in the state-space executor.
+    let sized = baseline.sized_lowering(&study.graph);
+    let state = steady_state(&sized, study.constraint, &exec).expect("the sized lowering executes");
+    println!("steady state of the sized constant-max lowering: {state}");
+    if state.outcome != ExecOutcome::Periodic || !state.meets_constraint() {
+        eprintln!("error: the baseline capacities fail their own steady-state check");
+        std::process::exit(1);
+    }
+
+    if minimize {
+        let mut lowered = CsdfGraph::lower_constant_max(&study.graph);
+        let analysis =
+            analyze(&lowered, study.constraint).expect("the constant-max lowering is consistent");
+        analysis.apply(&mut lowered);
+        let report =
+            minimize_sdf_capacities(&lowered, study.constraint, &SdfSearchOptions { exec })
+                .expect("the search executes");
+        print!("{report}");
+    }
+}

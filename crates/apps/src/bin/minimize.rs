@@ -15,7 +15,7 @@
 //! Exits non-zero when the Eq. (4) baseline itself fails validation
 //! (which would make every reported minimum vacuous).
 
-use vrdf_apps::{mp3_chain, mp3_constraint, mp3_fork_join, MP3_PUBLISHED_CAPACITIES};
+use vrdf_apps::{case_study, CASE_STUDY_NAMES};
 use vrdf_core::compute_buffer_capacities;
 use vrdf_sim::{minimize_capacities, SearchOptions};
 
@@ -50,39 +50,39 @@ fn main() {
             other => {
                 eprintln!("error: unknown argument `{other}`");
                 eprintln!(
-                    "usage: minimize [--graph mp3|fork-join] [--firings N] \
-                     [--random-runs N] [--threads N]"
+                    "usage: minimize [--graph {}] [--firings N] \
+                     [--random-runs N] [--threads N]",
+                    CASE_STUDY_NAMES.join("|")
                 );
                 std::process::exit(2);
             }
         }
     }
 
-    let (tg, label) = match graph.as_str() {
-        "mp3" => (mp3_chain(), "MP3 playback chain"),
-        "fork-join" | "forkjoin" => (mp3_fork_join(), "MP3 stereo fork/join graph"),
-        other => {
-            eprintln!("error: unknown graph `{other}` (expected `mp3` or `fork-join`)");
-            std::process::exit(2);
-        }
+    let Some(study) = case_study(&graph) else {
+        eprintln!(
+            "error: unknown graph `{graph}` (expected one of: {})",
+            CASE_STUDY_NAMES.join(", ")
+        );
+        std::process::exit(2);
     };
-    let analysis =
-        compute_buffer_capacities(&tg, mp3_constraint()).expect("the case studies are feasible");
-    if graph == "mp3" {
+    let analysis = compute_buffer_capacities(&study.graph, study.constraint)
+        .expect("the case studies are feasible");
+    if let Some(published) = study.published_capacities {
         let computed: Vec<u64> = analysis.capacities().iter().map(|c| c.capacity).collect();
         assert_eq!(
-            computed,
-            MP3_PUBLISHED_CAPACITIES.to_vec(),
-            "Eq. (4) must reproduce the published Section 5 capacities"
+            computed, published,
+            "Eq. (4) must reproduce the published capacities"
         );
     }
 
     println!(
-        "{label}: Eq. (4) vs operational minima \
+        "{}: Eq. (4) vs operational minima \
          ({} endpoint firings per scenario)",
-        opts.validation.endpoint_firings
+        study.label, opts.validation.endpoint_firings
     );
-    let report = minimize_capacities(&tg, &analysis, &opts).expect("the search constructs");
+    let report =
+        minimize_capacities(&study.graph, &analysis, &opts).expect("the search constructs");
     print!("{report}");
     if !report.baseline_clear {
         eprintln!("error: the Eq. (4) baseline failed validation; minima are vacuous");

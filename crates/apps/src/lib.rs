@@ -117,6 +117,59 @@ pub fn mp3_fork_join() -> TaskGraph {
     tg
 }
 
+/// A bundled case study resolved by name: the graph, its throughput
+/// constraint, and the strings the drivers print.
+///
+/// One registry serves every driver (`minimize`, `baseline`, benches),
+/// so graph names, labels, and usage strings cannot drift between them.
+#[derive(Clone, Debug)]
+pub struct CaseStudy {
+    /// The canonical name (`"mp3"`, `"fork-join"`).
+    pub name: &'static str,
+    /// A human-readable label for report headers.
+    pub label: &'static str,
+    /// The application graph.
+    pub graph: TaskGraph,
+    /// Its throughput constraint.
+    pub constraint: ThroughputConstraint,
+    /// Capacities published in the paper, when the case study has them
+    /// (drivers assert the analysis reproduces these before reporting).
+    pub published_capacities: Option<&'static [u64]>,
+}
+
+/// Canonical names accepted by [`case_study`], for usage strings.
+pub const CASE_STUDY_NAMES: [&str; 2] = ["mp3", "fork-join"];
+
+/// Resolves a case study by name (`"forkjoin"` is accepted as an alias
+/// of `"fork-join"`); `None` for unknown names.
+///
+/// # Examples
+///
+/// ```
+/// let study = vrdf_apps::case_study("mp3").unwrap();
+/// assert_eq!(study.graph.task_count(), 4);
+/// assert!(vrdf_apps::case_study("nope").is_none());
+/// ```
+pub fn case_study(name: &str) -> Option<CaseStudy> {
+    match name {
+        "mp3" => Some(CaseStudy {
+            name: "mp3",
+            label: "MP3 playback chain",
+            graph: mp3_chain(),
+            constraint: mp3_constraint(),
+            published_capacities: Some(&MP3_PUBLISHED_CAPACITIES),
+        }),
+        "fork-join" | "forkjoin" => Some(CaseStudy {
+            name: "fork-join",
+            label: "MP3 stereo fork/join graph",
+            graph: mp3_fork_join(),
+            constraint: mp3_constraint(),
+            published_capacities: None,
+        }),
+        _ => None,
+    }
+}
+
 /// The motivating producer–consumer pair of Fig. 1: `wa` produces 3
 /// containers per execution, `wb` consumes 2 or 3.
 pub fn fig1_pair() -> TaskGraph {
@@ -593,6 +646,27 @@ mod tests {
         let analysis = compute_buffer_capacities(&tg, mp3_constraint()).unwrap();
         let caps: Vec<u64> = analysis.capacities().iter().map(|c| c.capacity).collect();
         assert_eq!(caps, MP3_PUBLISHED_CAPACITIES);
+    }
+
+    #[test]
+    fn case_study_registry_resolves_names_and_aliases() {
+        for name in CASE_STUDY_NAMES {
+            let study = case_study(name).expect(name);
+            assert_eq!(study.name, name);
+            assert!(compute_buffer_capacities(&study.graph, study.constraint).is_ok());
+        }
+        // Alias and canonical resolve to the same study.
+        let canonical = case_study("fork-join").unwrap();
+        let alias = case_study("forkjoin").unwrap();
+        assert_eq!(canonical.name, alias.name);
+        assert_eq!(canonical.graph.task_count(), alias.graph.task_count());
+        assert!(case_study("nope").is_none());
+        // The mp3 study carries the published capacities.
+        let mp3 = case_study("mp3").unwrap();
+        assert_eq!(
+            mp3.published_capacities,
+            Some(&MP3_PUBLISHED_CAPACITIES[..])
+        );
     }
 
     #[test]

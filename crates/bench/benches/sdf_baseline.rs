@@ -1,0 +1,144 @@
+//! Cost and results of the native CSDF substrate: the conservative
+//! baseline sizing (`vrdf_sdf::baseline_capacities`), the
+//! repetition-vector analysis of the constant-max lowering, the
+//! self-timed state-space execution to the periodic steady state, and
+//! the operational capacity search on top of it.
+//!
+//! The extra fields record the headline numbers of the comparison
+//! column: per-graph VRDF vs baseline totals and the over-provisioning
+//! the paper's Section 1 argues against (MP3: 960 containers on `d1`,
+//! 9.4% of the VRDF total).
+//!
+//! ```console
+//! $ cargo bench -p vrdf-bench --bench sdf_baseline
+//! ```
+
+use vrdf_apps::{case_study, CASE_STUDY_NAMES};
+use vrdf_bench::{emit, time_per_iteration, BenchOpts};
+use vrdf_core::compute_buffer_capacities;
+use vrdf_sdf::{
+    analyze, baseline_capacities, minimize_sdf_capacities, steady_state, CsdfGraph, ExecOptions,
+    ExecOutcome, SdfSearchOptions,
+};
+
+fn main() {
+    let opts = BenchOpts::from_args(2, 10);
+
+    for name in CASE_STUDY_NAMES {
+        let study = case_study(name).expect("registry names resolve");
+        let vrdf = compute_buffer_capacities(&study.graph, study.constraint)
+            .expect("the case studies are feasible");
+        let baseline = baseline_capacities(&study.graph, study.constraint)
+            .expect("the case studies are consistent");
+
+        // Analytic sizing cost.
+        let m = time_per_iteration(opts.warmup, opts.iterations, || {
+            let b = baseline_capacities(&study.graph, study.constraint).expect("consistent");
+            std::hint::black_box(b.total_capacity());
+        });
+        emit(
+            "sdf_baseline",
+            &format!("baseline-{name}"),
+            &m,
+            &[
+                ("vrdf_total", vrdf.total_capacity() as f64),
+                ("baseline_total", baseline.total_capacity() as f64),
+                ("over_provision", baseline.total_over_provision() as f64),
+            ],
+        );
+    }
+
+    // The native pipeline on the constant-max MP3 chain: lowering +
+    // repetition vector + capacities (the acceptance numbers).
+    let mp3 = case_study("mp3").expect("registry names resolve");
+    let lowered = CsdfGraph::lower_constant_max(&mp3.graph);
+    let analysis = analyze(&lowered, mp3.constraint).expect("the lowering is consistent");
+    assert_eq!(
+        analysis.total_capacity(),
+        10_160,
+        "the native pipeline must reproduce [6015, 3263, 882]"
+    );
+    let m = time_per_iteration(opts.warmup, opts.iterations, || {
+        let lowered = CsdfGraph::lower_constant_max(&mp3.graph);
+        let a = analyze(&lowered, mp3.constraint).expect("consistent");
+        std::hint::black_box(a.total_capacity());
+    });
+    emit(
+        "sdf_baseline",
+        "native-analyze-mp3-constmax",
+        &m,
+        &[("total_capacity", analysis.total_capacity() as f64)],
+    );
+
+    // Self-timed state-space execution to the periodic steady state at
+    // the analytic capacities.
+    let mut sized = lowered.clone();
+    analysis.apply(&mut sized);
+    let exec = ExecOptions::default();
+    let state = steady_state(&sized, mp3.constraint, &exec).expect("the sized lowering executes");
+    assert_eq!(state.outcome, ExecOutcome::Periodic);
+    assert!(state.meets_constraint(), "{state}");
+    let m = time_per_iteration(opts.warmup, opts.iterations, || {
+        let s = steady_state(&sized, mp3.constraint, &exec).expect("executes");
+        std::hint::black_box(s.events);
+    });
+    let events_per_sec = state.events as f64 / (m.median().as_nanos() as f64 / 1e9);
+    emit(
+        "sdf_baseline",
+        "steady-state-mp3-constmax",
+        &m,
+        &[
+            (
+                "throughput_hz",
+                state.throughput().expect("periodic").to_f64(),
+            ),
+            ("cycle_firings", state.cycle_firings as f64),
+            ("boundaries", state.boundaries as f64),
+            ("events", state.events as f64),
+            ("events_per_sec", events_per_sec),
+        ],
+    );
+
+    // Operational capacity search over the executor; --smoke keeps the
+    // bench honest on a small graph instead of the full MP3 search.
+    let (search_graph, search_constraint, case) = if opts.smoke {
+        let mut g = CsdfGraph::new();
+        let src = g
+            .add_actor("src", [vrdf_core::Rational::new(1, 100)])
+            .expect("fresh graph");
+        let snk = g
+            .add_actor("snk", [vrdf_core::Rational::new(1, 300)])
+            .expect("fresh graph");
+        let c = g.connect("c", src, snk, [3], [1]).expect("fresh graph");
+        g.set_capacity(c, 12);
+        (
+            g,
+            vrdf_core::ThroughputConstraint::on_sink(vrdf_core::Rational::new(1, 300))
+                .expect("positive period"),
+            "search-pair-smoke",
+        )
+    } else {
+        (sized.clone(), mp3.constraint, "search-mp3-constmax")
+    };
+    let search = SdfSearchOptions { exec };
+    let report = minimize_sdf_capacities(&search_graph, search_constraint, &search)
+        .expect("the search executes");
+    assert!(report.baseline_clear, "{report}");
+    let m = time_per_iteration(opts.warmup.min(1), opts.iterations.min(3), || {
+        let r = minimize_sdf_capacities(&search_graph, search_constraint, &search)
+            .expect("the search executes");
+        std::hint::black_box(r.probes);
+    });
+    emit(
+        "sdf_baseline",
+        case,
+        &m,
+        &[
+            ("total_assigned", report.total_assigned() as f64),
+            ("total_minimal", report.total_minimal() as f64),
+            ("total_gap", report.total_gap() as f64),
+            ("probes", f64::from(report.probes)),
+            ("passes", f64::from(report.passes)),
+        ],
+    );
+}

@@ -56,7 +56,7 @@ pub struct AnalysisOptions {
     /// When `true` (default), a response time exceeding its bound `φ(v)`
     /// aborts the analysis with
     /// [`AnalysisError::InfeasibleResponseTime`]; when `false` the
-    /// violations are reported as [`ChainAnalysis::violations`] and the
+    /// violations are reported as [`GraphAnalysis::violations`] and the
     /// capacities are still computed (useful for what-if exploration).
     pub enforce_feasibility: bool,
 }
@@ -123,6 +123,10 @@ pub struct GraphAnalysis {
 
 /// The historical name of [`GraphAnalysis`], from when the analysis was
 /// restricted to chains.
+#[deprecated(
+    since = "0.1.0",
+    note = "the analysis covers fork/join DAGs since PR 4; use `GraphAnalysis`"
+)]
 pub type ChainAnalysis = GraphAnalysis;
 
 impl GraphAnalysis {

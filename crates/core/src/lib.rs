@@ -69,10 +69,10 @@
 //!   checks, and the producer–consumer pair shortcut.
 //!
 //! The companion crates build on this one: `vrdf-sim` (discrete-event
-//! self-timed simulator used to verify sufficiency), `vrdf-sdf`
-//! (constant-rate SDF substrate and the traditional baseline the paper
-//! compares against), and `vrdf-apps` (the MP3 chain and synthetic
-//! workloads).
+//! self-timed simulator used to verify sufficiency), `vrdf-sdf` (the
+//! native CSDF substrate — repetition vectors, state-space execution —
+//! computing the traditional baseline the paper compares against), and
+//! `vrdf-apps` (the MP3 chain and synthetic workloads).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -87,10 +87,12 @@ pub mod rational;
 pub mod taskgraph;
 
 pub use bounds::{EdgeBounds, ExistenceSchedule, FiringEvent, LinearBound, PairGaps};
+#[allow(deprecated)]
+pub use capacity::ChainAnalysis;
 pub use capacity::{
     compute_buffer_capacities, compute_buffer_capacities_via_chain, compute_buffer_capacities_with,
-    derive_rates, pair_capacity, AnalysisOptions, BufferCapacity, ChainAnalysis,
-    ConstrainedRelease, FeasibilityViolation, GraphAnalysis,
+    derive_rates, pair_capacity, AnalysisOptions, BufferCapacity, ConstrainedRelease,
+    FeasibilityViolation, GraphAnalysis,
 };
 pub use error::AnalysisError;
 pub use graph::{Actor, ActorId, BufferEdges, Edge, EdgeId, ModelMapping, VrdfGraph};

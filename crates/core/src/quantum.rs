@@ -155,6 +155,20 @@ impl QuantumSet {
     pub fn to_constant_max(&self) -> QuantumSet {
         QuantumSet::constant(self.max())
     }
+
+    /// `max − min`: how far the set is from data independence, in
+    /// containers.  Zero exactly for constant sets.
+    ///
+    /// This is the per-side over-provisioning a constant-rate ((C)SDF)
+    /// abstraction pays for a data-dependent quantum set: a firing-indexed
+    /// schedule must budget the maximum quantum on the demand side while
+    /// only counting on the minimum on the release side, so each side's
+    /// spread surfaces one-for-one as extra buffer containers (see
+    /// `vrdf-sdf`'s native baseline).
+    #[inline]
+    pub fn spread(&self) -> u64 {
+        self.max() - self.min()
+    }
 }
 
 impl fmt::Display for QuantumSet {
@@ -287,6 +301,13 @@ mod tests {
     fn to_constant_max() {
         let q = QuantumSet::new([2, 3]).unwrap();
         assert_eq!(q.to_constant_max(), QuantumSet::constant(3));
+    }
+
+    #[test]
+    fn spread_is_zero_exactly_for_constants() {
+        assert_eq!(QuantumSet::constant(441).spread(), 0);
+        assert_eq!(QuantumSet::new([2, 3]).unwrap().spread(), 1);
+        assert_eq!(QuantumSet::range_inclusive(0, 960).unwrap().spread(), 960);
     }
 
     #[test]

@@ -1,0 +1,274 @@
+//! Errors of the native CSDF substrate.
+
+use std::fmt;
+
+use vrdf_core::{AnalysisError, Rational};
+
+/// Errors produced while building [`CsdfGraph`](crate::CsdfGraph)s,
+/// computing repetition vectors, sizing baselines, or running the
+/// self-timed state-space executor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SdfError {
+    /// An error propagated from the `vrdf-core` task-graph model (graph
+    /// validation, endpoint resolution, zero-quantum guards, feasibility).
+    Core(AnalysisError),
+    /// Two actors or channels were registered under the same name.
+    DuplicateName(String),
+    /// A referenced actor handle does not belong to this graph.
+    UnknownActor(String),
+    /// An actor needs at least one phase.
+    NoPhases {
+        /// The offending actor.
+        actor: String,
+    },
+    /// Response times must be non-negative in every phase.
+    NegativeResponseTime {
+        /// The offending actor.
+        actor: String,
+        /// The negative phase response time.
+        value: Rational,
+    },
+    /// A channel's per-phase rate vector does not match the phase count
+    /// of the actor on that side.
+    PhaseMismatch {
+        /// The offending channel.
+        channel: String,
+        /// The actor whose phase count is not matched.
+        actor: String,
+        /// The actor's phase count.
+        phases: usize,
+        /// The number of per-phase rates supplied.
+        rates: usize,
+    },
+    /// Every channel must transfer at least one token per full cycle on
+    /// each side (an all-zero rate vector would make the balance
+    /// equations degenerate — the paper's `Pf(N)` exclusion of `{0}`).
+    ZeroCycleRate {
+        /// The offending channel.
+        channel: String,
+        /// `"production"` or `"consumption"`.
+        role: &'static str,
+    },
+    /// A CSDF graph must contain at least one actor.
+    EmptyGraph,
+    /// The underlying undirected graph is not weakly connected (includes
+    /// orphan actors with no channels in a multi-actor graph).
+    Disconnected,
+    /// The constrained endpoint is not unique.
+    AmbiguousEndpoint {
+        /// `"sink"` or `"source"`.
+        role: &'static str,
+        /// The names of the competing endpoint actors.
+        actors: Vec<String>,
+    },
+    /// The balance equations have no non-trivial solution: some channel's
+    /// per-cycle production and consumption totals cannot be reconciled,
+    /// so no periodic schedule conserves tokens and every finite buffer
+    /// eventually deadlocks or overflows.
+    Inconsistent {
+        /// The channel whose balance equation fails.
+        channel: String,
+        /// Human-readable description of the rate mismatch.
+        detail: String,
+    },
+    /// The smallest integer repetition vector does not fit the internal
+    /// integer width (pathologically co-prime rates).
+    RepetitionOverflow,
+    /// The state-space executor needs every channel capacity set.
+    CapacityUnset {
+        /// The channel without a capacity.
+        channel: String,
+    },
+    /// A channel's initial tokens exceed its capacity.
+    InitialTokensExceedCapacity {
+        /// The offending channel.
+        channel: String,
+        /// Its initial tokens.
+        initial_tokens: u64,
+        /// Its capacity.
+        capacity: u64,
+    },
+    /// No valid schedule exists: an actor's worst-case phase response
+    /// time exceeds its steady-state firing distance `φ(a)`.
+    InfeasibleResponseTime {
+        /// The actor violating the condition.
+        actor: String,
+        /// Its worst-case phase response time.
+        response_time: Rational,
+        /// The maximum admissible value.
+        bound: Rational,
+    },
+    /// The response times cannot be rescaled onto one integer tick clock
+    /// (denominator LCM exceeds the i128 range).
+    TickOverflow,
+    /// The executor's event budget ran out before a steady state or
+    /// deadlock was found.
+    BudgetExhausted {
+        /// Events processed when the budget was hit.
+        events: u64,
+    },
+    /// No periodic steady state was detected within the iteration-boundary
+    /// budget (or the detected cycle had zero duration, which happens only
+    /// for graphs whose time never advances).
+    NoSteadyState {
+        /// Iteration boundaries explored.
+        boundaries: u64,
+    },
+}
+
+impl fmt::Display for SdfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdfError::Core(e) => e.fmt(f),
+            SdfError::DuplicateName(name) => write!(f, "name `{name}` is already in use"),
+            SdfError::UnknownActor(name) => write!(f, "unknown actor `{name}`"),
+            SdfError::NoPhases { actor } => {
+                write!(f, "actor `{actor}` needs at least one phase")
+            }
+            SdfError::NegativeResponseTime { actor, value } => write!(
+                f,
+                "phase response time of `{actor}` must be non-negative, got {value}"
+            ),
+            SdfError::PhaseMismatch {
+                channel,
+                actor,
+                phases,
+                rates,
+            } => write!(
+                f,
+                "channel `{channel}` supplies {rates} per-phase rates but actor `{actor}` has {phases} phases"
+            ),
+            SdfError::ZeroCycleRate { channel, role } => write!(
+                f,
+                "channel `{channel}` transfers no tokens per cycle on its {role} side"
+            ),
+            SdfError::EmptyGraph => f.write_str("graph must contain at least one actor"),
+            SdfError::Disconnected => f.write_str("graph must be weakly connected"),
+            SdfError::AmbiguousEndpoint { role, actors } => write!(
+                f,
+                "throughput constraint on the {role} is ambiguous: {} candidate endpoints ({})",
+                actors.len(),
+                actors.join(", ")
+            ),
+            SdfError::Inconsistent { channel, detail } => {
+                write!(f, "graph is not consistent at channel `{channel}`: {detail}")
+            }
+            SdfError::RepetitionOverflow => {
+                f.write_str("repetition vector exceeds the supported integer range")
+            }
+            SdfError::CapacityUnset { channel } => {
+                write!(f, "channel `{channel}` has no capacity assigned")
+            }
+            SdfError::InitialTokensExceedCapacity {
+                channel,
+                initial_tokens,
+                capacity,
+            } => write!(
+                f,
+                "channel `{channel}` holds {initial_tokens} initial tokens but only {capacity} containers"
+            ),
+            SdfError::InfeasibleResponseTime {
+                actor,
+                response_time,
+                bound,
+            } => write!(
+                f,
+                "no valid schedule exists: response time of `{actor}` is {response_time} but must not exceed {bound}"
+            ),
+            SdfError::TickOverflow => {
+                f.write_str("response times cannot be rescaled onto one integer tick clock")
+            }
+            SdfError::BudgetExhausted { events } => {
+                write!(f, "event budget exhausted after {events} events")
+            }
+            SdfError::NoSteadyState { boundaries } => write!(
+                f,
+                "no periodic steady state within {boundaries} iteration boundaries"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SdfError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SdfError::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AnalysisError> for SdfError {
+    fn from(e: AnalysisError) -> Self {
+        SdfError::Core(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_without_trailing_punctuation() {
+        let errors = [
+            SdfError::Core(AnalysisError::EmptyGraph),
+            SdfError::DuplicateName("x".into()),
+            SdfError::UnknownActor("x".into()),
+            SdfError::NoPhases { actor: "a".into() },
+            SdfError::NegativeResponseTime {
+                actor: "a".into(),
+                value: Rational::integer(-1),
+            },
+            SdfError::PhaseMismatch {
+                channel: "c".into(),
+                actor: "a".into(),
+                phases: 2,
+                rates: 3,
+            },
+            SdfError::ZeroCycleRate {
+                channel: "c".into(),
+                role: "production",
+            },
+            SdfError::EmptyGraph,
+            SdfError::Disconnected,
+            SdfError::AmbiguousEndpoint {
+                role: "sink",
+                actors: vec!["a".into(), "b".into()],
+            },
+            SdfError::Inconsistent {
+                channel: "c".into(),
+                detail: "2 != 3".into(),
+            },
+            SdfError::RepetitionOverflow,
+            SdfError::CapacityUnset {
+                channel: "c".into(),
+            },
+            SdfError::InitialTokensExceedCapacity {
+                channel: "c".into(),
+                initial_tokens: 5,
+                capacity: 4,
+            },
+            SdfError::InfeasibleResponseTime {
+                actor: "a".into(),
+                response_time: Rational::ONE,
+                bound: Rational::ZERO,
+            },
+            SdfError::TickOverflow,
+            SdfError::BudgetExhausted { events: 7 },
+            SdfError::NoSteadyState { boundaries: 3 },
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'), "no trailing punctuation: {msg}");
+        }
+    }
+
+    #[test]
+    fn core_errors_convert_and_chain() {
+        let e: SdfError = AnalysisError::Disconnected.into();
+        assert!(matches!(e, SdfError::Core(_)));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

@@ -1,20 +1,60 @@
-//! # vrdf-sdf — the constant-rate baseline
+//! # vrdf-sdf — the native (C)SDF substrate and the traditional baseline
 //!
 //! The traditional way to size buffers for data-dependent communication
-//! is to pretend the rates are constant: replace every quantum set by the
-//! singleton of its maximum (`ξ(b) → {ξ̂(b)}`, `λ(b) → {λ̂(b)}`) and apply
-//! (C)SDF buffer sizing.  The paper's introduction explains why this is
-//! conservative — consuming *less* than assumed can starve a downstream
-//! task of data the schedule promised, and the VRDF analysis exists
-//! precisely to avoid that over-approximation on the arrival side.
+//! is to pretend the rates are constant and apply (C)SDF machinery.  This
+//! crate *is* that machinery, built natively rather than inherited from
+//! the VRDF analysis in `vrdf-core`:
 //!
-//! This crate currently hosts the **constant-max transformation** and the
-//! baseline capacity computation it induces (the comparison column of the
-//! paper's evaluation).  A native multi-phase CSDF substrate is a ROADMAP
-//! item and will grow here.
+//! * [`CsdfGraph`] — a multi-phase (cyclo-static) dataflow model with
+//!   phase-cyclic production/consumption vectors.  A variable-rate
+//!   [`TaskGraph`] lowers into it via
+//!   [`CsdfGraph::lower_constant_max`] (single-phase, rates at their
+//!   maxima).
+//! * [`CsdfGraph::repetition_vector`] — consistency checking and the
+//!   smallest integer repetition vector via the balance equations;
+//!   inconsistent graphs are rejected (no finite buffering exists).
+//! * [`analyze`] — constant-rate buffer sizing derived from the
+//!   repetition vector: steady-state cadences, per-channel token
+//!   periods, and sufficient capacities.  On the constant-max MP3 chain
+//!   this reproduces the paper's published `[6015, 3263, 882]` without
+//!   touching the VRDF rate propagation.
+//! * [`steady_state`] — a self-timed state-space executor on an integer
+//!   tick clock: runs a capacitated graph to its periodic steady state
+//!   (cycle detection on hashed execution states) and reports the
+//!   *achieved* endpoint throughput, or deadlock.
+//! * [`minimize_sdf_capacities`] — a per-channel minimal-capacity search
+//!   over the executor: the operational floor of the SDF abstraction.
+//! * [`baseline_capacities`] — the comparison column of the paper's
+//!   evaluation: the *sound* conservative constant-rate sizing of a
+//!   variable graph, which pays each quantum set's spread `(max − min)`
+//!   in extra containers over the VRDF capacity
+//!   (`ζ_SDF = ζ_VRDF + spreads`, the Section 1 over-provisioning
+//!   argument made exact; see the [`baseline`] module docs for the
+//!   derivation).
+//!
+//! The original **constant-max transformation** on task graphs survives
+//! unchanged ([`constant_max_abstraction`], [`constant_max_capacities`])
+//! — it feeds the executor and keeps the VRDF analysis comparable on
+//! already-constant graphs.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+
+pub mod baseline;
+pub mod csdf;
+mod error;
+pub mod exec;
+
+pub use baseline::{baseline_capacities, BaselineAnalysis, BaselineEdge};
+pub use csdf::{
+    analyze, ActorId, ChannelCapacity, ChannelId, CsdfActor, CsdfAnalysis, CsdfChannel, CsdfGraph,
+    RepetitionVector,
+};
+pub use error::SdfError;
+pub use exec::{
+    minimize_sdf_capacities, steady_state, ExecOptions, ExecOutcome, SdfChannelMinimum,
+    SdfMinimizationReport, SdfSearchOptions, SteadyState,
+};
 
 use vrdf_core::{
     compute_buffer_capacities, AnalysisError, GraphAnalysis, TaskGraph, ThroughputConstraint,
@@ -66,15 +106,14 @@ pub fn constant_max_abstraction(tg: &TaskGraph) -> Result<TaskGraph, AnalysisErr
     Ok(out)
 }
 
-/// Buffer capacities under the constant-max (SDF) abstraction — the
-/// baseline the VRDF capacities are compared against.
+/// Buffer capacities of the constant-max (SDF) abstraction under the
+/// **VRDF** analysis — the optimistic variant of the baseline.
 ///
-/// For chains the bound rates coincide with the VRDF ones (both are
-/// driven by the maximum quanta), so on the paper's MP3 chain the
-/// baseline reproduces the same capacities; the difference appears in
-/// *admissibility* — the SDF abstraction cannot execute sequences that
-/// consume less than the maximum, while the VRDF capacities are valid for
-/// all of them.
+/// On constant-rate graphs this coincides with the native
+/// [`analyze`]-on-[`lowering`](CsdfGraph::lower_constant_max) pipeline;
+/// on genuinely variable graphs it is *not* a sound abstraction (it
+/// assumes the maxima are always delivered), which is why the comparison
+/// column of the evaluation is [`baseline_capacities`] instead.
 ///
 /// # Errors
 ///
@@ -128,6 +167,87 @@ mod tests {
     }
 
     #[test]
+    fn abstraction_preserves_fork_join_structure() {
+        // The chain-only unit tests used to be the whole coverage; the
+        // abstraction must also rewrite every edge of a DAG — structure,
+        // carried capacities, and constancy of all rewritten sets.
+        let mut tg = TaskGraph::new();
+        let src = tg.add_task("src", rat(1, 10)).unwrap();
+        let left = tg.add_task("left", rat(1, 20)).unwrap();
+        let right = tg.add_task("right", rat(1, 30)).unwrap();
+        let snk = tg.add_task("snk", rat(1, 40)).unwrap();
+        tg.connect(
+            "fl",
+            src,
+            left,
+            QuantumSet::new([2, 6]).unwrap(),
+            QuantumSet::new([0, 3]).unwrap(),
+        )
+        .unwrap();
+        tg.connect(
+            "fr",
+            src,
+            right,
+            QuantumSet::constant(4),
+            QuantumSet::new([1, 2, 4]).unwrap(),
+        )
+        .unwrap();
+        tg.connect(
+            "jl",
+            left,
+            snk,
+            QuantumSet::new([1, 5]).unwrap(),
+            QuantumSet::constant(5),
+        )
+        .unwrap();
+        tg.connect(
+            "jr",
+            right,
+            snk,
+            QuantumSet::new([2, 3]).unwrap(),
+            QuantumSet::new([1, 3]).unwrap(),
+        )
+        .unwrap();
+        tg.set_capacity(tg.buffer_by_name("fr").unwrap(), 11);
+        tg.set_capacity(tg.buffer_by_name("jl").unwrap(), 7);
+
+        let sdf = constant_max_abstraction(&tg).unwrap();
+        // Structure: same tasks, same edges, same fork/join shape.
+        assert_eq!(sdf.task_count(), 4);
+        assert_eq!(sdf.buffer_count(), 4);
+        let dag = sdf.dag().unwrap();
+        assert_eq!(dag.sources().len(), 1);
+        assert_eq!(dag.sinks().len(), 1);
+        assert_eq!(
+            sdf.output_buffers(sdf.task_by_name("src").unwrap()).len(),
+            2
+        );
+        assert_eq!(sdf.input_buffers(sdf.task_by_name("snk").unwrap()).len(), 2);
+        // Every rewritten set is the constant of the original maximum.
+        for (id, original) in tg.buffers() {
+            let rewritten = sdf.buffer(sdf.buffer_by_name(original.name()).unwrap());
+            assert!(rewritten.production().is_constant(), "{}", original.name());
+            assert!(rewritten.consumption().is_constant(), "{}", original.name());
+            assert_eq!(rewritten.production().max(), original.production().max());
+            assert_eq!(rewritten.consumption().max(), original.consumption().max());
+            assert_eq!(rewritten.capacity(), tg.buffer(id).capacity());
+        }
+        // Capacities carried over exactly where they were set.
+        assert_eq!(
+            sdf.buffer(sdf.buffer_by_name("fr").unwrap()).capacity(),
+            Some(11)
+        );
+        assert_eq!(
+            sdf.buffer(sdf.buffer_by_name("jl").unwrap()).capacity(),
+            Some(7)
+        );
+        assert_eq!(
+            sdf.buffer(sdf.buffer_by_name("fl").unwrap()).capacity(),
+            None
+        );
+    }
+
+    #[test]
     fn baseline_matches_vrdf_on_the_mp3_chain() {
         // On chains both analyses are driven by the maximum quanta, so the
         // MP3 capacities coincide — the distinction is admissibility, not
@@ -140,7 +260,7 @@ mod tests {
     }
 
     /// A local copy of the MP3 chain (vrdf-sdf does not depend on
-    /// vrdf-apps; the dependency points the other way for future work).
+    /// vrdf-apps; the dependency points the other way).
     fn vrdf_apps_free_mp3() -> TaskGraph {
         TaskGraph::linear_chain(
             [
