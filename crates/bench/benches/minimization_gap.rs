@@ -48,6 +48,11 @@ fn main() {
 
     let mut extras: Vec<(String, f64)> = vec![
         ("endpoint_firings".into(), firings as f64),
+        ("events".into(), report.events as f64),
+        (
+            "events_per_sec".into(),
+            report.events as f64 / m.median().as_secs_f64(),
+        ),
         ("total_assigned".into(), report.total_assigned() as f64),
         ("total_minimal".into(), report.total_minimal() as f64),
         ("total_gap".into(), report.total_gap() as f64),

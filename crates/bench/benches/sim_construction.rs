@@ -1,0 +1,111 @@
+//! Construction vs execution on the tick engine: what one `SimPlan`
+//! build costs, and what a scenario battery saves by resetting a
+//! reusable `SimState` instead of rebuilding the whole simulator per
+//! probe — the access pattern of `validate_capacities` and
+//! `minimize_capacities`, which run thousands of short probe scenarios
+//! against one graph.
+//!
+//! Three cases on a seeded 32-task chain:
+//!
+//! * `plan-build` — `SimPlan::new` plus arena allocation, alone;
+//! * `rebuild-run` — a battery of short runs, each paying a fresh
+//!   `Simulator::new` (the pre-plan probe pattern);
+//! * `reuse-run` — the same battery on one plan and one state, reset in
+//!   place per run (`speedup_vs_rebuild` is the quotient that matters).
+//!
+//! ```console
+//! $ cargo bench -p vrdf-bench --bench sim_construction
+//! ```
+
+use vrdf_apps::synthetic::{random_chain_of_length, ChainSpec};
+use vrdf_bench::{emit, time_per_iteration, BenchOpts};
+use vrdf_core::compute_buffer_capacities;
+use vrdf_sim::{QuantumPlan, QuantumPolicy, SimConfig, SimPlan, Simulator};
+
+fn main() {
+    let opts = BenchOpts::from_args(3, 15);
+    let len = 32;
+    let spec = ChainSpec {
+        rho_grid_subdivision: Some(1024),
+        ..ChainSpec::default()
+    };
+    let (tg, constraint) =
+        random_chain_of_length(42, len, &spec).expect("generator yields a valid chain");
+    let analysis =
+        compute_buffer_capacities(&tg, constraint).expect("generated chains are feasible");
+    let mut sized = tg.clone();
+    analysis.apply(&mut sized);
+
+    // Short runs make construction a visible fraction of each probe, as
+    // it is for the capacity search's per-edge binary-search probes.
+    let firings = opts.scale(200, 20);
+    let runs = opts.scale(64, 4);
+    let mut config = SimConfig::self_timed(constraint);
+    config.max_endpoint_firings = firings;
+
+    let build_m = time_per_iteration(opts.warmup, opts.iterations, || {
+        let plan = SimPlan::new(&sized, config.clone()).expect("construction succeeds");
+        std::hint::black_box(plan.state());
+    });
+    emit(
+        "sim_construction",
+        "plan-build",
+        &build_m,
+        &[("tasks", len as f64)],
+    );
+
+    let quanta = QuantumPlan::uniform(QuantumPolicy::Max);
+    let probe = Simulator::new(&sized, quanta.clone(), config.clone())
+        .expect("construction succeeds")
+        .run();
+    assert!(probe.ok(), "{:?}", probe.outcome);
+    let events = probe.events_processed as f64 * runs as f64;
+
+    let rebuild_m = time_per_iteration(opts.warmup, opts.iterations, || {
+        let mut total = 0u64;
+        for _ in 0..runs {
+            let report = Simulator::new(&sized, quanta.clone(), config.clone())
+                .expect("construction succeeds")
+                .run();
+            total += report.events_processed;
+        }
+        std::hint::black_box(total);
+    });
+    emit(
+        "sim_construction",
+        "rebuild-run",
+        &rebuild_m,
+        &[
+            ("tasks", len as f64),
+            ("runs", runs as f64),
+            ("events", events),
+            ("events_per_sec", events / rebuild_m.median().as_secs_f64()),
+        ],
+    );
+
+    let plan = SimPlan::new(&sized, config).expect("construction succeeds");
+    let mut state = plan.state();
+    let reuse_m = time_per_iteration(opts.warmup, opts.iterations, || {
+        let mut total = 0u64;
+        for _ in 0..runs {
+            let report = plan.run(&mut state, &quanta).expect("plan runs");
+            total += report.events_processed;
+        }
+        std::hint::black_box(total);
+    });
+    emit(
+        "sim_construction",
+        "reuse-run",
+        &reuse_m,
+        &[
+            ("tasks", len as f64),
+            ("runs", runs as f64),
+            ("events", events),
+            ("events_per_sec", events / reuse_m.median().as_secs_f64()),
+            (
+                "speedup_vs_rebuild",
+                rebuild_m.median().as_secs_f64() / reuse_m.median().as_secs_f64(),
+            ),
+        ],
+    );
+}

@@ -60,6 +60,7 @@ fn main() {
     let probe = validate_capacities(&tg, &analysis, &vopts).expect("construction succeeds");
     assert!(probe.all_clear(), "{probe}");
     let scenarios = probe.scenarios.len() as f64;
+    let events = probe.events() as f64;
     let validate_m = time_per_iteration(opts.warmup, opts.iterations, || {
         let report = validate_capacities(&tg, &analysis, &vopts).expect("construction succeeds");
         assert!(report.all_clear(), "{report}");
@@ -69,6 +70,10 @@ fn main() {
         "source_constrained",
         "validate-battery",
         &validate_m,
-        &[("scenarios", scenarios)],
+        &[
+            ("scenarios", scenarios),
+            ("events", events),
+            ("events_per_sec", events / validate_m.median().as_secs_f64()),
+        ],
     );
 }

@@ -31,6 +31,7 @@ fn main() {
     let probe = validate_capacities(&tg, &analysis, &vopts(1)).expect("construction succeeds");
     assert!(probe.all_clear(), "{probe}");
     let scenarios = probe.scenarios.len() as f64;
+    let events = probe.events() as f64;
     let parallelism = std::thread::available_parallelism().map_or(1, |p| p.get());
     // Always exercise the threaded path, even on a single-core box where
     // it can only break even; on multi-core machines the wall-clock win
@@ -55,6 +56,8 @@ fn main() {
             &[
                 ("threads", threads as f64),
                 ("scenarios", scenarios),
+                ("events", events),
+                ("events_per_sec", events / m.median().as_secs_f64()),
                 ("speedup_vs_single", medians[0] / m.median().as_secs_f64()),
             ],
         );

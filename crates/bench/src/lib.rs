@@ -4,12 +4,13 @@
 //! runners to stay dependency-free) and the `tables` binary that
 //! regenerates the paper's Section 5 table with a simulation cross-check.
 //!
-//! The eight benches are real measurements driving `vrdf-sim` and the
+//! The twelve benches are real measurements driving `vrdf-sim` and the
 //! `vrdf-sdf` baseline.  Each follows the same shape: parse
 //! [`BenchOpts`] (`--smoke` collapses to one warmup and one iteration so
 //! CI can prove the bench still runs), measure with
 //! [`time_per_iteration`] — per-iteration samples, not one batch mean —
-//! and report one machine-readable JSON line per case via [`emit`].
+//! and report one machine-readable JSON line per case via [`emit`],
+//! plus cross-case derived metrics via [`emit_summary`].
 //!
 //! Run one locally:
 //!
@@ -223,6 +224,36 @@ pub fn emit(bench: &str, case: &str, m: &Measurement, extra: &[(&str, f64)]) {
     println!("{}", json_line(bench, case, m, extra));
 }
 
+/// Formats one derived-metric line with no timing columns:
+/// `{"bench":…,"case":…,"kind":"summary",<extra>}`.
+///
+/// Summary rows carry ratios computed across cases (e.g. the
+/// small-vs-large throughput ratio of a scaling bench) so a regression is
+/// visible in the committed results without post-processing; the `kind`
+/// field keeps them distinguishable from measured rows.
+pub fn summary_line(bench: &str, case: &str, extra: &[(&str, f64)]) -> String {
+    let mut line = format!(
+        "{{\"bench\":\"{}\",\"case\":\"{}\",\"kind\":\"summary\"",
+        escape(bench),
+        escape(case),
+    );
+    for (key, value) in extra {
+        let rendered = if value.fract() == 0.0 && value.abs() < 1e15 {
+            format!("{value:.1}")
+        } else {
+            format!("{value}")
+        };
+        line.push_str(&format!(",\"{}\":{rendered}", escape(key)));
+    }
+    line.push('}');
+    line
+}
+
+/// Prints the [`summary_line`] for one derived metric to stdout.
+pub fn emit_summary(bench: &str, case: &str, extra: &[(&str, f64)]) {
+    println!("{}", summary_line(bench, case, extra));
+}
+
 fn escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
@@ -290,5 +321,19 @@ mod tests {
         assert!(line.contains("\"speedup\":5.0"));
         // Quotes in names are escaped.
         assert!(json_line("a\"b", "c", &m, &[]).contains("a\\\"b"));
+    }
+
+    #[test]
+    fn summary_line_has_kind_and_no_timing_columns() {
+        let line = summary_line(
+            "chain_scaling",
+            "throughput-ratio",
+            &[("tasks_small", 4.0), ("ratio", 1.1789)],
+        );
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\"kind\":\"summary\""));
+        assert!(line.contains("\"tasks_small\":4.0"));
+        assert!(line.contains("\"ratio\":1.1789"));
+        assert!(!line.contains("median_ns"));
     }
 }

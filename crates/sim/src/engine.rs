@@ -40,10 +40,44 @@
 //! measures the speedup.  A time base too fine to rescale (a converted
 //! quantity past `u64::MAX` ticks) is rejected with
 //! [`SimError::TickOverflow`] instead of wrapping.
+//!
+//! # The flat-arena core: [`SimPlan`] and [`SimState`]
+//!
+//! Construction and execution are split so that neither taxes the other:
+//!
+//! * [`SimPlan`] is everything derivable from the graph and the
+//!   [`SimConfig`] alone — DAG validation, the tick rescale (LCM plus
+//!   every converted time), the topological task order, and the task ↔
+//!   buffer adjacency flattened into CSR-style index arrays.  It is built
+//!   **once per graph** and is immutable (and `Sync`), so scenario
+//!   batteries and capacity searches share one plan across thousands of
+//!   runs instead of re-validating and re-rescaling per probe.
+//! * [`SimState`] is the mutable run state, laid out struct-of-arrays:
+//!   per-task flags and counters, per-buffer occupancy words, and
+//!   per-edge claim slots each live in their own flat array indexed by
+//!   the plan's integer positions — no per-task `Vec`s, no pointer
+//!   chasing through `BufState` records.  Every run *resets* the arenas
+//!   in place ([`SimPlan::run`]); the event heap, the firing trace, the
+//!   deadlock scan's `blocked` list, and the dirty-task worklist all keep
+//!   their allocations across runs, so the steady state of a scenario
+//!   battery allocates only when a policy compiles or a report is built.
+//!
+//! The run loop batches all heap events that share a tick and settles the
+//! instant with one enable sweep over a *dirty worklist*: only tasks
+//! whose inputs, outputs, or busy state changed are re-examined, and the
+//! worklist is a sorted index list — per-instant work is proportional to
+//! the number of affected tasks, not to the size of the graph.  (A start
+//! can only dirty *upstream* producers, which sit strictly earlier in
+//! topological order, so sweeping the sorted worklist and deferring
+//! newly-dirtied tasks to the next sweep reproduces the reference
+//! engine's position-order semantics exactly.)  This is what keeps
+//! events/second flat as graphs grow — the regression the committed
+//! `chain_scaling`/`dag_scaling` results showed before this layout.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::fmt;
+use std::mem;
 
 use vrdf_core::{
     BufferId, ConstrainedRelease, ConstraintLocation, Rational, TaskGraph, TaskId,
@@ -320,19 +354,15 @@ impl SimReport {
     }
 }
 
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-enum EventKind {
-    Finish { task: usize },
-    Release,
-}
-
-/// A heap entry; `time` is in integer ticks, so each compare is a pair of
-/// machine-integer comparisons instead of cross-reduced rational ones.
+/// An overflow-queue entry; `time` is in integer ticks, so each compare
+/// is a pair of machine-integer comparisons instead of cross-reduced
+/// rational ones.  `node` identifies the event: task position for a
+/// finish, the one-past-the-tasks slot for the periodic release.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 struct Event {
     time: i128,
     seq: u64,
-    kind: EventKind,
+    node: u32,
 }
 
 impl Ord for Event {
@@ -352,48 +382,213 @@ impl PartialOrd for Event {
     }
 }
 
-struct BufState {
-    id: BufferId,
-    tokens: u64,
-    space: u64,
-    capacity: u64,
-    max_occupancy: u64,
-    produced: u64,
-    consumed: u64,
-    /// Position of the producing task in the engine's task vector.
-    producer_pos: usize,
-    /// Position of the consuming task in the engine's task vector.
-    consumer_pos: usize,
-    /// The producer side's quantum sequence, pre-compiled for this run.
-    production: CompiledQuantum,
-    /// The consumer side's quantum sequence, pre-compiled for this run.
-    consumption: CompiledQuantum,
+/// "No node" sentinel in the event wheel's intrusive lists.
+const NO_NODE: u32 = u32::MAX;
+
+/// The pending-event queue: a timing wheel of tick buckets fused with an
+/// overflow heap, presenting exactly the (time, seq) FIFO order a binary
+/// heap of [`Event`]s would — but with O(1) push and pop.
+///
+/// The engine's event population is tiny and structured: at most one
+/// pending finish per task (a task has at most one firing in flight) and
+/// at most one pending release.  Each such *node* owns one slot in the
+/// intrusive per-bucket lists, so the wheel needs no allocation, ever.
+/// Two invariants make the wheel sound:
+///
+/// * every wheel event lies in the window `[now, now + window]` with
+///   `window ≤ mask` — enforced at push (anything farther, e.g. the
+///   initial release at a distant or negative offset, or a response time
+///   past the window cap, goes to the overflow heap instead);
+/// * the engine's clock only moves to pending event times, so pending
+///   wheel events are never behind `now`; the one backward jump a run
+///   can make (0 → a negative release offset) is pre-subtracted from
+///   `window` at [`clear`](EventQueue::clear) so events pushed before
+///   the jump still can't alias a bucket across it.
+///
+/// Together they mean the bucket of tick `now` can only hold events due
+/// exactly *now* ([`pop_due`](EventQueue::pop_due) is scan-free), and
+/// the next-event scan ([`next_time`](EventQueue::next_time), once per
+/// settled instant) reconstructs absolute times from bucket distance.
+/// Within a bucket, insertion order is seq order, and the wheel/overflow
+/// merge compares (time, seq) — so pops are bit-identical to the heap
+/// the reference engine uses, which `tests/differential.rs` pins.
+struct EventQueue {
+    /// Bucket count − 1 (count is a power of two); tick `t` hashes to
+    /// bucket `t & mask`.
+    mask: usize,
+    /// Per-bucket FIFO list heads/tails (node indices).
+    head: Vec<u32>,
+    tail: Vec<u32>,
+    /// One bit per non-empty bucket.
+    bits: Vec<u64>,
+    /// One bit per non-zero `bits` word.
+    summary: Vec<u64>,
+    /// Intrusive next pointers and push sequence numbers, per node.
+    node_next: Vec<u32>,
+    node_seq: Vec<u64>,
+    /// Events beyond the wheel window, in the same (time, seq) order.
+    overflow: BinaryHeap<Event>,
+    wheel_len: usize,
+    /// Usable window in ticks: `mask` minus the run's backward-jump
+    /// slack.  The clock can move backward exactly once, from 0 to a
+    /// negative release offset; shrinking the window by that jump keeps
+    /// the bucket-aliasing argument valid at every clock the run can
+    /// reach.  Negative means everything overflows (absurd offsets).
+    window: i128,
 }
 
-struct TaskCtx {
-    id: TaskId,
-    /// Response time `κ(w)` in ticks; fits `u64`, widened for arithmetic.
-    rho: i128,
-    /// Buffer-state indices of the task's input buffers, in connection
-    /// order (a firing needs data on every one).
-    inputs: Vec<usize>,
-    /// Buffer-state indices of the task's output buffers, in connection
-    /// order (a firing needs space on every one).
-    outputs: Vec<usize>,
-    /// Whether a firing is in flight.
-    busy: bool,
-    /// Per-edge quanta of the next/in-flight firing, parallel to
-    /// `inputs` / `outputs`.  [`Simulator::startable`] draws each edge's
-    /// quantum exactly once into these slots while checking the enable
-    /// condition; a start and its finish then read them back, so the
-    /// hot loop pays one compiled draw per edge per check, as the chain
-    /// engine did.  Sound because at most one firing is in flight and a
-    /// busy task returns from `startable` before any slot is touched.
-    claimed_in: Vec<u64>,
-    claimed_out: Vec<u64>,
-    started: u64,
-    finished: u64,
-    busy_ticks: i128,
+impl EventQueue {
+    /// A wheel covering deltas up to `max_delta_hint` ticks (clamped to
+    /// [64, 2^15] buckets) over `nodes` event slots.  The hint only
+    /// tunes how much traffic stays on the O(1) wheel path; deltas past
+    /// the window are still handled, via the overflow heap.
+    fn new(nodes: usize, max_delta_hint: i128) -> EventQueue {
+        let buckets = (max_delta_hint.clamp(0, (1 << 15) - 1) as usize + 1)
+            .next_power_of_two()
+            .max(64);
+        EventQueue {
+            mask: buckets - 1,
+            head: vec![NO_NODE; buckets],
+            tail: vec![NO_NODE; buckets],
+            bits: vec![0; buckets / 64],
+            summary: vec![0; buckets.div_ceil(64 * 64)],
+            node_next: vec![NO_NODE; nodes],
+            node_seq: vec![0; nodes],
+            overflow: BinaryHeap::new(),
+            wheel_len: 0,
+            window: (buckets - 1) as i128,
+        }
+    }
+
+    /// Empties the queue and re-arms the window for a run whose clock
+    /// may jump backward by up to `slack` ticks (a negative release
+    /// offset); 0 for monotone runs.
+    fn clear(&mut self, slack: i128) {
+        self.head.fill(NO_NODE);
+        self.tail.fill(NO_NODE);
+        self.bits.fill(0);
+        self.summary.fill(0);
+        self.overflow.clear();
+        self.wheel_len = 0;
+        self.window = self.mask as i128 - slack;
+    }
+
+    #[inline]
+    fn push(&mut self, now: i128, time: i128, seq: u64, node: u32) {
+        let delta = time - now;
+        if delta < 0 || delta > self.window {
+            // Beyond the window, or behind `now` — only the initial
+            // release at a negative offset, pushed at reset before the
+            // clock first moves.
+            self.overflow.push(Event { time, seq, node });
+            return;
+        }
+        self.wheel_len += 1;
+        let b = (time as usize) & self.mask;
+        self.node_seq[node as usize] = seq;
+        self.node_next[node as usize] = NO_NODE;
+        let t = self.tail[b];
+        if t == NO_NODE {
+            self.head[b] = node;
+            self.bits[b >> 6] |= 1 << (b & 63);
+            self.summary[b >> 12] |= 1 << ((b >> 6) & 63);
+        } else {
+            self.node_next[t as usize] = node;
+        }
+        self.tail[b] = node;
+    }
+
+    /// Whether an event is due exactly at `now` — O(1): the bucket of
+    /// `now` can only hold events at `now` (see the window invariant).
+    #[inline]
+    fn has_due(&self, now: i128) -> bool {
+        self.head[(now as usize) & self.mask] != NO_NODE
+            || matches!(self.overflow.peek(), Some(e) if e.time == now)
+    }
+
+    /// Pops the earliest event if it is due exactly at `now`; returns its
+    /// node.  O(1).
+    #[inline]
+    fn pop_due(&mut self, now: i128) -> Option<u32> {
+        let b = (now as usize) & self.mask;
+        let wheel_node = self.head[b];
+        let overflow_due = matches!(self.overflow.peek(), Some(e) if e.time == now);
+        let take_wheel = if wheel_node != NO_NODE {
+            // Tie at the same tick: FIFO across both structures.
+            !overflow_due
+                || self.node_seq[wheel_node as usize] < self.overflow.peek().expect("peeked").seq
+        } else if overflow_due {
+            false
+        } else {
+            return None;
+        };
+        if take_wheel {
+            self.wheel_len -= 1;
+            let next = self.node_next[wheel_node as usize];
+            self.head[b] = next;
+            if next == NO_NODE {
+                self.tail[b] = NO_NODE;
+                self.bits[b >> 6] &= !(1 << (b & 63));
+                if self.bits[b >> 6] == 0 {
+                    self.summary[b >> 12] &= !(1 << ((b >> 6) & 63));
+                }
+            }
+            Some(wheel_node)
+        } else {
+            Some(self.overflow.pop().expect("peeked").node)
+        }
+    }
+
+    /// Earliest pending wheel time at or after `now`, via the two-level
+    /// bucket bitmap (wrapping at most once around the wheel).
+    fn next_wheel_time(&self, now: i128) -> Option<i128> {
+        if self.wheel_len == 0 {
+            return None;
+        }
+        let start = (now as usize) & self.mask;
+        let mut w = start >> 6;
+        let mut word = self.bits[w] & (!0u64 << (start & 63));
+        loop {
+            if word != 0 {
+                let b = (w << 6) | word.trailing_zeros() as usize;
+                let d = b.wrapping_sub(start) & self.mask;
+                return Some(now + d as i128);
+            }
+            w += 1;
+            if w == self.bits.len() {
+                w = 0;
+            }
+            let sw = w >> 6;
+            let sbits = self.summary[sw] & (!0u64 << (w & 63));
+            if sbits != 0 {
+                w = (sw << 6) | sbits.trailing_zeros() as usize;
+            } else {
+                let mut s = sw + 1;
+                loop {
+                    if s == self.summary.len() {
+                        s = 0;
+                    }
+                    if self.summary[s] != 0 {
+                        w = (s << 6) | self.summary[s].trailing_zeros() as usize;
+                        break;
+                    }
+                    s += 1;
+                }
+            }
+            word = self.bits[w];
+        }
+    }
+
+    /// Earliest pending event time, or `None` when the queue is empty.
+    /// Runs once per settled instant, not per event.
+    fn next_time(&self, now: i128) -> Option<i128> {
+        let wheel = self.next_wheel_time(now);
+        let far = self.overflow.peek().map(|e| e.time);
+        match (wheel, far) {
+            (Some(w), Some(f)) => Some(w.min(f)),
+            (w, f) => w.or(f),
+        }
+    }
 }
 
 /// A trace entry in ticks; converted to a [`FiringRecord`] only at the
@@ -408,15 +603,24 @@ struct TickRecord {
     produced: u64,
 }
 
-/// The discrete-event simulator; see the module docs for the semantics
-/// and the integer tick clock it runs on.
+/// The construct-once half of a simulation: DAG validation, the integer
+/// tick rescale, the topological task order, and the task ↔ buffer
+/// adjacency flattened into index arrays (see the module docs).
+///
+/// A plan is immutable and `Sync`: scenario batteries and capacity
+/// searches build it once per graph and run it many times, each run
+/// resetting a reusable [`SimState`] in place instead of paying the full
+/// construction again.  Capacities default to the graph's `ζ(b)`
+/// assignments and can be overridden per run
+/// ([`SimPlan::run_with_capacities`]), which is what makes
+/// capacity-search probes clone-free.
 ///
 /// # Examples
 ///
 /// ```
 /// use vrdf_core::{compute_buffer_capacities, QuantumSet, Rational, TaskGraph,
 ///     ThroughputConstraint};
-/// use vrdf_sim::{QuantumPlan, QuantumPolicy, SimConfig, Simulator};
+/// use vrdf_sim::{QuantumPlan, QuantumPolicy, SimConfig, SimPlan};
 ///
 /// let mut tg = TaskGraph::linear_chain(
 ///     [("wa", Rational::ONE), ("wb", Rational::ONE)],
@@ -427,66 +631,73 @@ struct TickRecord {
 ///
 /// let mut config = SimConfig::self_timed(constraint);
 /// config.max_endpoint_firings = 100;
-/// let report = Simulator::new(&tg, QuantumPlan::uniform(QuantumPolicy::Max), config)?
-///     .run();
-/// assert!(report.ok());
-/// assert_eq!(report.endpoint.firings, 100);
+/// let plan = SimPlan::new(&tg, config)?;
+/// let mut state = plan.state();
+/// // Reset-and-run as many scenarios as needed on the same arenas.
+/// for policy in [QuantumPolicy::Max, QuantumPolicy::Min] {
+///     let report = plan.run(&mut state, &QuantumPlan::uniform(policy))?;
+///     assert!(report.ok());
+/// }
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub struct Simulator<'a> {
+pub struct SimPlan<'a> {
     tg: &'a TaskGraph,
     config: SimConfig,
-    /// Tasks in the validated topological order of [`TaskGraph::dag`].
-    tasks: Vec<TaskCtx>,
-    buffers: Vec<BufState>,
-    /// Position of the constrained endpoint in `tasks`.
-    endpoint: usize,
     /// Ticks per time unit: the LCM of every denominator in the run.
     tick_den: i128,
     period: i128,
     /// Release time of firing 0, in ticks (periodic mode only).
     offset: Option<i128>,
     max_time: Option<i128>,
-    heap: BinaryHeap<Event>,
-    seq: u64,
-    releases_issued: u64,
-    violations: Vec<Violation>,
-    trace: Vec<TickRecord>,
-    events_processed: u64,
-    /// Set when an event was due but the budget was already spent.
-    budget_exhausted: bool,
-    now: i128,
-    /// Tasks whose enable condition may have changed since last checked;
-    /// only these are re-examined when settling an instant.
-    dirty: Vec<bool>,
-    first_start: Option<i128>,
-    last_start: Option<i128>,
-    max_drift: Option<i128>,
-    max_lateness: Option<i128>,
+    /// Position of the constrained endpoint in the topological order.
+    endpoint: usize,
+    /// Whether the endpoint frees consumed containers at its start.
+    immediate_free: bool,
+    // ---- per task, in the validated topological order (SoA) ----
+    task_ids: Vec<TaskId>,
+    /// Response time `κ(w)` in ticks; fits `u64`, widened for arithmetic.
+    rho: Vec<i128>,
+    /// CSR offsets into `in_buf`: task `pos`'s input edges are
+    /// `in_buf[in_start[pos]..in_start[pos + 1]]`, in connection order.
+    in_start: Vec<u32>,
+    /// CSR offsets into `out_buf`, like `in_start`.
+    out_start: Vec<u32>,
+    /// Flat input-edge list: buffer-state index per edge.
+    in_buf: Vec<u32>,
+    /// Flat output-edge list: buffer-state index per edge.
+    out_buf: Vec<u32>,
+    // ---- per buffer, in the validated DAG order (SoA) ----
+    buffer_ids: Vec<BufferId>,
+    /// Topological position of each buffer's producing task.
+    producer_pos: Vec<u32>,
+    /// Topological position of each buffer's consuming task.
+    consumer_pos: Vec<u32>,
+    /// The graph's `ζ(b)` assignment, if set; per-run overrides win.
+    default_capacity: Vec<Option<u64>>,
+    /// `BufferId::index()` → buffer-state index.
+    buf_pos: Vec<u32>,
+    /// Largest steady-state event delta (max response time, period) — the
+    /// sizing hint for the [`EventQueue`] timing wheel.
+    wheel_hint: i128,
 }
 
-impl<'a> Simulator<'a> {
-    /// Builds a simulator over a task graph (chain or fork/join DAG)
-    /// whose buffer capacities `ζ(b)` are all set (use
-    /// [`vrdf_core::GraphAnalysis::apply`] or
-    /// [`TaskGraph::set_capacity`]).
+impl<'a> SimPlan<'a> {
+    /// Builds the reusable plan for a task graph (chain or fork/join DAG)
+    /// under one [`SimConfig`].
+    ///
+    /// Buffers may still be missing capacities here — defaults are taken
+    /// from the graph and checked (after per-run overrides) when a run
+    /// starts, so capacity-search drivers can plan an unsized graph once
+    /// and probe assignments without cloning it.
     ///
     /// # Errors
     ///
     /// * [`SimError::Analysis`] — the graph is not a valid DAG, or the
     ///   constrained endpoint is ambiguous.
-    /// * [`SimError::CapacityUnset`] — a buffer has no capacity.
-    /// * [`SimError::QuantumNotInSet`] / [`SimError::EmptyCycle`] — the
-    ///   plan draws values outside a buffer's quantum set.
     /// * [`SimError::TickOverflow`] — the run's times cannot be rescaled
     ///   to a shared integer tick clock within `u64` ticks.
-    pub fn new(
-        tg: &'a TaskGraph,
-        plan: QuantumPlan,
-        config: SimConfig,
-    ) -> Result<Simulator<'a>, SimError> {
+    pub fn new(tg: &'a TaskGraph, config: SimConfig) -> Result<SimPlan<'a>, SimError> {
         let dag = tg.dag().map_err(SimError::Analysis)?;
-        plan.validate(tg)?;
 
         // One shared tick denominator for every time in the run.
         let offset_rat = match config.behavior {
@@ -526,123 +737,399 @@ impl<'a> Simulator<'a> {
             Ok(ticks)
         };
 
-        // Positions: task `pos` is `dag.tasks()[pos]`; buffer state `bi`
-        // is `dag.buffers()[bi]`.
-        let mut task_pos = vec![0usize; tg.task_count()];
+        // Positions: task `pos` is `dag.tasks()[pos]`; buffer-state index
+        // `bi` is `dag.buffers()[bi]`.
+        let mut task_pos = vec![0u32; tg.task_count()];
         for (pos, &tid) in dag.tasks().iter().enumerate() {
-            task_pos[tid.index()] = pos;
+            task_pos[tid.index()] = pos as u32;
         }
-        let mut buf_pos = vec![0usize; tg.buffer_count()];
+        let mut buf_pos = vec![0u32; tg.buffer_count()];
         for (bi, &bid) in dag.buffers().iter().enumerate() {
-            buf_pos[bid.index()] = bi;
+            buf_pos[bid.index()] = bi as u32;
         }
 
-        let mut buffers = Vec::with_capacity(dag.buffers().len());
+        let nb = dag.buffers().len();
+        let mut buffer_ids = Vec::with_capacity(nb);
+        let mut producer_pos = Vec::with_capacity(nb);
+        let mut consumer_pos = Vec::with_capacity(nb);
+        let mut default_capacity = Vec::with_capacity(nb);
         for &bid in dag.buffers() {
             let buffer = tg.buffer(bid);
-            let capacity = buffer.capacity().ok_or_else(|| SimError::CapacityUnset {
-                buffer: buffer.name().to_owned(),
-            })?;
-            buffers.push(BufState {
-                id: bid,
-                tokens: 0,
-                space: capacity,
-                capacity,
-                max_occupancy: 0,
-                produced: 0,
-                consumed: 0,
-                producer_pos: task_pos[buffer.producer().index()],
-                consumer_pos: task_pos[buffer.consumer().index()],
-                production: plan.compile(buffer.production(), bid.index(), Side::Production),
-                consumption: plan.compile(buffer.consumption(), bid.index(), Side::Consumption),
-            });
+            buffer_ids.push(bid);
+            producer_pos.push(task_pos[buffer.producer().index()]);
+            consumer_pos.push(task_pos[buffer.consumer().index()]);
+            default_capacity.push(buffer.capacity());
         }
 
-        let mut tasks = Vec::with_capacity(dag.tasks().len());
+        let nt = dag.tasks().len();
+        let mut task_ids = Vec::with_capacity(nt);
+        let mut rho = Vec::with_capacity(nt);
+        let mut in_start = Vec::with_capacity(nt + 1);
+        let mut out_start = Vec::with_capacity(nt + 1);
+        let mut in_buf = Vec::new();
+        let mut out_buf = Vec::new();
         for &tid in dag.tasks() {
             let task = tg.task(tid);
-            let inputs: Vec<usize> = tg
-                .input_buffers(tid)
-                .iter()
-                .map(|b| buf_pos[b.index()])
-                .collect();
-            let outputs: Vec<usize> = tg
-                .output_buffers(tid)
-                .iter()
-                .map(|b| buf_pos[b.index()])
-                .collect();
-            tasks.push(TaskCtx {
-                id: tid,
-                rho: to_ticks(task.response_time(), task.name())?,
-                claimed_in: vec![0; inputs.len()],
-                claimed_out: vec![0; outputs.len()],
-                inputs,
-                outputs,
-                busy: false,
-                started: 0,
-                finished: 0,
-                busy_ticks: 0,
-            });
+            task_ids.push(tid);
+            rho.push(to_ticks(task.response_time(), task.name())?);
+            in_start.push(in_buf.len() as u32);
+            for b in tg.input_buffers(tid) {
+                in_buf.push(buf_pos[b.index()]);
+            }
+            out_start.push(out_buf.len() as u32);
+            for b in tg.output_buffers(tid) {
+                out_buf.push(buf_pos[b.index()]);
+            }
         }
+        in_start.push(in_buf.len() as u32);
+        out_start.push(out_buf.len() as u32);
 
         let endpoint_task = match config.constraint.location() {
             ConstraintLocation::Sink => dag.unique_sink(tg).map_err(SimError::Analysis)?,
             ConstraintLocation::Source => dag.unique_source(tg).map_err(SimError::Analysis)?,
         };
-        let endpoint = task_pos[endpoint_task.index()];
+        let endpoint = task_pos[endpoint_task.index()] as usize;
         let period = to_ticks(config.constraint.period(), "period")?;
         let offset = offset_rat.map(|o| to_ticks(o, "offset")).transpose()?;
         let max_time = config
             .max_time
             .map(|t| to_ticks(t, "max_time"))
             .transpose()?;
+        let immediate_free = config.release == ConstrainedRelease::Immediate;
+        let wheel_hint = rho.iter().copied().max().unwrap_or(0).max(period);
 
-        let dirty = vec![true; tasks.len()];
-        let mut sim = Simulator {
+        Ok(SimPlan {
             tg,
             config,
-            tasks,
-            buffers,
-            endpoint,
             tick_den,
             period,
             offset,
             max_time,
-            heap: BinaryHeap::new(),
+            endpoint,
+            immediate_free,
+            task_ids,
+            rho,
+            in_start,
+            out_start,
+            in_buf,
+            out_buf,
+            buffer_ids,
+            producer_pos,
+            consumer_pos,
+            default_capacity,
+            buf_pos,
+            wheel_hint,
+        })
+    }
+
+    /// The graph the plan was built over.
+    pub fn graph(&self) -> &'a TaskGraph {
+        self.tg
+    }
+
+    /// The configuration every run of this plan uses.
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    /// Fresh arenas sized for this plan, reusable across any number of
+    /// [`SimPlan::run`] calls.
+    pub fn state(&self) -> SimState {
+        SimState::for_plan(self)
+    }
+
+    /// Checks that every buffer has a default capacity, i.e. that
+    /// [`SimPlan::run`] without overrides can start.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::CapacityUnset`] naming the first bare buffer.
+    pub fn require_capacities(&self) -> Result<(), SimError> {
+        for (bi, capacity) in self.default_capacity.iter().enumerate() {
+            if capacity.is_none() {
+                return Err(SimError::CapacityUnset {
+                    buffer: self.tg.buffer(self.buffer_ids[bi]).name().to_owned(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Resets `state` and runs one simulation under the given quantum
+    /// plan, with every buffer at its graph-assigned capacity.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::CapacityUnset`] — a buffer has no capacity.
+    /// * [`SimError::QuantumNotInSet`] / [`SimError::EmptyCycle`] — the
+    ///   plan draws values outside a buffer's quantum set.
+    pub fn run(&self, state: &mut SimState, quanta: &QuantumPlan) -> Result<SimReport, SimError> {
+        self.run_with_capacities(state, quanta, &[])
+    }
+
+    /// Like [`SimPlan::run`], with per-buffer capacity overrides applied
+    /// on top of the graph's assignments (later entries win) — the probe
+    /// path for capacity searches and falsification experiments, paying
+    /// neither a graph clone nor an engine rebuild.
+    ///
+    /// # Errors
+    ///
+    /// As [`SimPlan::run`]; a buffer is only `CapacityUnset` when neither
+    /// the graph nor an override provides its capacity.
+    pub fn run_with_capacities(
+        &self,
+        state: &mut SimState,
+        quanta: &QuantumPlan,
+        capacities: &[(BufferId, u64)],
+    ) -> Result<SimReport, SimError> {
+        quanta.validate(self.tg)?;
+        state.reset(self, quanta, capacities)?;
+        let mut exec = Exec {
+            plan: self,
+            st: state,
+        };
+        let outcome = exec.run_loop();
+        Ok(exec.report(outcome))
+    }
+}
+
+/// The reusable mutable half of a simulation: struct-of-arrays arenas for
+/// task, buffer, and edge state, plus the event heap, trace, violation,
+/// and deadlock-scan storage — all retained across runs and reset in
+/// place by [`SimPlan::run`].
+///
+/// Obtain one from [`SimPlan::state`]; a state is only meaningful with
+/// the plan that sized it.
+pub struct SimState {
+    // ---- per task ----
+    busy: Vec<bool>,
+    started: Vec<u64>,
+    finished: Vec<u64>,
+    busy_ticks: Vec<i128>,
+    /// Bitmap over topological positions of tasks whose enable condition
+    /// may have changed; scanned in ascending order by `try_starts`.
+    dirty: Vec<u64>,
+    // ---- per edge (parallel to the plan's `in_buf` / `out_buf`) ----
+    /// Per-edge quanta of each task's next/in-flight firing.  The enable
+    /// check draws each edge's quantum exactly once into these slots; a
+    /// start and its finish read them back, so the hot loop pays one
+    /// compiled draw per edge per check.  Sound because at most one
+    /// firing per task is in flight and a busy task is rejected before
+    /// any slot is touched.
+    claimed_in: Vec<u64>,
+    claimed_out: Vec<u64>,
+    // ---- per buffer ----
+    tokens: Vec<u64>,
+    space: Vec<u64>,
+    capacity: Vec<u64>,
+    /// Whether `capacity` was actually provided (graph or override).
+    capacity_set: Vec<bool>,
+    max_occupancy: Vec<u64>,
+    produced: Vec<u64>,
+    consumed: Vec<u64>,
+    /// The producer side's quantum sequence, compiled for this run.
+    production: Vec<CompiledQuantum>,
+    /// The consumer side's quantum sequence, compiled for this run.
+    consumption: Vec<CompiledQuantum>,
+    /// Whether every compiled sequence is a firing-independent constant
+    /// (min/max/constant policies — the common probe workload).  Then the
+    /// per-edge claims are preloaded at reset and the hot enable check
+    /// skips the policy dispatch entirely.
+    fixed_quanta: bool,
+    // ---- run bookkeeping ----
+    queue: EventQueue,
+    seq: u64,
+    releases_issued: u64,
+    violations: Vec<Violation>,
+    trace: Vec<TickRecord>,
+    /// Deadlock-scan scratch, reused across runs.
+    blocked: Vec<(TaskId, BlockReason)>,
+    events_processed: u64,
+    /// Set when an event was due but the budget was already spent.
+    budget_exhausted: bool,
+    now: i128,
+    first_start: Option<i128>,
+    last_start: Option<i128>,
+    max_drift: Option<i128>,
+    max_lateness: Option<i128>,
+}
+
+impl SimState {
+    fn for_plan(plan: &SimPlan<'_>) -> SimState {
+        let nt = plan.task_ids.len();
+        let nb = plan.buffer_ids.len();
+        SimState {
+            busy: vec![false; nt],
+            started: vec![0; nt],
+            finished: vec![0; nt],
+            busy_ticks: vec![0; nt],
+            dirty: vec![0; nt.div_ceil(64)],
+            claimed_in: vec![0; plan.in_buf.len()],
+            claimed_out: vec![0; plan.out_buf.len()],
+            tokens: vec![0; nb],
+            space: vec![0; nb],
+            capacity: vec![0; nb],
+            capacity_set: vec![false; nb],
+            max_occupancy: vec![0; nb],
+            produced: vec![0; nb],
+            consumed: vec![0; nb],
+            production: Vec::with_capacity(nb),
+            consumption: Vec::with_capacity(nb),
+            fixed_quanta: false,
+            queue: EventQueue::new(nt + 1, plan.wheel_hint),
             seq: 0,
             releases_issued: 0,
             violations: Vec::new(),
             trace: Vec::new(),
+            blocked: Vec::new(),
             events_processed: 0,
             budget_exhausted: false,
             now: 0,
-            dirty,
             first_start: None,
             last_start: None,
             max_drift: None,
             max_lateness: None,
-        };
-        if let Some(offset) = sim.offset {
-            if sim.config.max_endpoint_firings > 0 {
-                sim.push(offset, EventKind::Release);
-            }
         }
-        Ok(sim)
     }
 
+    /// Rewinds the arenas to the initial instant for one run of `plan`:
+    /// capacities resolved (graph defaults, then overrides), quantum
+    /// policies compiled, every counter zeroed, every task dirty, the
+    /// initial periodic release queued.  All storage is retained.
+    fn reset(
+        &mut self,
+        plan: &SimPlan<'_>,
+        quanta: &QuantumPlan,
+        capacities: &[(BufferId, u64)],
+    ) -> Result<(), SimError> {
+        let nt = plan.task_ids.len();
+        let nb = plan.buffer_ids.len();
+
+        for (bi, capacity) in plan.default_capacity.iter().enumerate() {
+            match capacity {
+                Some(c) => {
+                    self.capacity[bi] = *c;
+                    self.capacity_set[bi] = true;
+                }
+                None => self.capacity_set[bi] = false,
+            }
+        }
+        for &(bid, c) in capacities {
+            let bi = plan.buf_pos[bid.index()] as usize;
+            self.capacity[bi] = c;
+            self.capacity_set[bi] = true;
+        }
+        if let Some(bi) = self.capacity_set.iter().position(|set| !set) {
+            return Err(SimError::CapacityUnset {
+                buffer: plan.tg.buffer(plan.buffer_ids[bi]).name().to_owned(),
+            });
+        }
+
+        self.production.clear();
+        self.consumption.clear();
+        for &bid in &plan.buffer_ids {
+            let buffer = plan.tg.buffer(bid);
+            self.production.push(quanta.compile(
+                buffer.production(),
+                bid.index(),
+                Side::Production,
+            ));
+            self.consumption.push(quanta.compile(
+                buffer.consumption(),
+                bid.index(),
+                Side::Consumption,
+            ));
+        }
+        self.fixed_quanta = self
+            .production
+            .iter()
+            .chain(self.consumption.iter())
+            .all(|q| matches!(q, CompiledQuantum::Fixed(_)));
+        if self.fixed_quanta {
+            // Firing-independent claims never change: load them once and
+            // let the enable check read them back without a draw.
+            for (e, &bi) in plan.in_buf.iter().enumerate() {
+                self.claimed_in[e] = self.consumption[bi as usize].draw(0);
+            }
+            for (e, &bi) in plan.out_buf.iter().enumerate() {
+                self.claimed_out[e] = self.production[bi as usize].draw(0);
+            }
+        }
+
+        self.tokens[..nb].fill(0);
+        self.space[..nb].copy_from_slice(&self.capacity[..nb]);
+        self.max_occupancy[..nb].fill(0);
+        self.produced[..nb].fill(0);
+        self.consumed[..nb].fill(0);
+
+        self.busy[..nt].fill(false);
+        self.started[..nt].fill(0);
+        self.finished[..nt].fill(0);
+        self.busy_ticks[..nt].fill(0);
+        // Every task starts dirty; bits past `nt` must stay clear so the
+        // sweep never decodes a phantom position.
+        self.dirty.fill(!0u64);
+        let tail = nt & 63;
+        if tail != 0 {
+            *self.dirty.last_mut().expect("nt > 0") = (1u64 << tail) - 1;
+        }
+
+        // The clock starts at 0 and thereafter only moves to pending
+        // event times; the single possible backward jump is to a
+        // negative release offset, which the wheel window must absorb.
+        let slack = match plan.offset {
+            Some(o) if o < 0 => -o,
+            _ => 0,
+        };
+        self.queue.clear(slack);
+        self.seq = 0;
+        self.releases_issued = 0;
+        self.violations.clear();
+        self.trace.clear();
+        self.blocked.clear();
+        self.events_processed = 0;
+        self.budget_exhausted = false;
+        self.now = 0;
+        self.first_start = None;
+        self.last_start = None;
+        self.max_drift = None;
+        self.max_lateness = None;
+
+        if let Some(offset) = plan.offset {
+            if plan.config.max_endpoint_firings > 0 {
+                self.seq += 1;
+                self.queue.push(self.now, offset, self.seq, nt as u32);
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One in-flight run: a plan and the state it is mutating.
+struct Exec<'r, 'a> {
+    plan: &'r SimPlan<'a>,
+    st: &'r mut SimState,
+}
+
+impl Exec<'_, '_> {
     /// One tick as a time value: `1 / tick_den`.
     #[inline]
     fn rational(&self, ticks: i128) -> Rational {
-        Rational::from_ticks(ticks, self.tick_den)
+        Rational::from_ticks(ticks, self.plan.tick_den)
     }
 
-    fn push(&mut self, time: i128, kind: EventKind) {
-        self.seq += 1;
-        self.heap.push(Event {
-            time,
-            seq: self.seq,
-            kind,
-        });
+    /// Queues the event node (a task position for a finish, the
+    /// one-past-the-tasks slot for the release) at an absolute tick.
+    #[inline]
+    fn push(&mut self, time: i128, node: u32) {
+        self.st.seq += 1;
+        self.st.queue.push(self.st.now, time, self.st.seq, node);
+    }
+
+    /// Flags a task for re-examination, once.
+    #[inline]
+    fn mark_dirty(&mut self, pos: usize) {
+        self.st.dirty[pos >> 6] |= 1 << (pos & 63);
     }
 
     /// Whether the task at `pos` can start its next firing right now:
@@ -651,48 +1138,57 @@ impl<'a> Simulator<'a> {
     /// the firing's per-edge quanta.  `honor_release` controls whether a
     /// periodic endpoint is held back between releases.
     ///
-    /// Each edge's quantum is drawn exactly once here, into the task's
+    /// Each edge's quantum is drawn exactly once here, into the flat
     /// `claimed_in` / `claimed_out` scratch, where a subsequent
     /// [`start_firing`](Self::start_firing) and its finish read it back
     /// — the hot loop's only compiled-policy draws.
     fn startable(&mut self, pos: usize, honor_release: bool) -> Result<(), BlockReason> {
-        if self.tasks[pos].busy {
+        let st = &mut *self.st;
+        let plan = self.plan;
+        if st.busy[pos] {
             return Err(BlockReason::Busy);
         }
-        if pos == self.endpoint {
-            let started = self.tasks[pos].started;
-            if started >= self.config.max_endpoint_firings {
+        if pos == plan.endpoint {
+            let started = st.started[pos];
+            if started >= plan.config.max_endpoint_firings {
                 return Err(BlockReason::NotReleased);
             }
-            if honor_release && self.offset.is_some() && started >= self.releases_issued {
+            if honor_release && plan.offset.is_some() && started >= st.releases_issued {
                 return Err(BlockReason::NotReleased);
             }
         }
-        let k = self.tasks[pos].started;
-        for i in 0..self.tasks[pos].inputs.len() {
-            let bi = self.tasks[pos].inputs[i];
-            let b = &self.buffers[bi];
-            let need = b.consumption.draw(k);
-            self.tasks[pos].claimed_in[i] = need;
-            let b = &self.buffers[bi];
-            if b.tokens < need {
+        let k = st.started[pos];
+        let fixed = st.fixed_quanta;
+        for e in plan.in_start[pos] as usize..plan.in_start[pos + 1] as usize {
+            let bi = plan.in_buf[e] as usize;
+            let need = if fixed {
+                st.claimed_in[e]
+            } else {
+                let need = st.consumption[bi].draw(k);
+                st.claimed_in[e] = need;
+                need
+            };
+            if st.tokens[bi] < need {
                 return Err(BlockReason::NeedTokens {
-                    buffer: b.id,
-                    have: b.tokens,
+                    buffer: plan.buffer_ids[bi],
+                    have: st.tokens[bi],
                     need,
                 });
             }
         }
-        for i in 0..self.tasks[pos].outputs.len() {
-            let bi = self.tasks[pos].outputs[i];
-            let b = &self.buffers[bi];
-            let need = b.production.draw(k);
-            self.tasks[pos].claimed_out[i] = need;
-            let b = &self.buffers[bi];
-            if b.space < need {
+        for e in plan.out_start[pos] as usize..plan.out_start[pos + 1] as usize {
+            let bi = plan.out_buf[e] as usize;
+            let need = if fixed {
+                st.claimed_out[e]
+            } else {
+                let need = st.production[bi].draw(k);
+                st.claimed_out[e] = need;
+                need
+            };
+            if st.space[bi] < need {
                 return Err(BlockReason::NeedSpace {
-                    buffer: b.id,
-                    have: b.space,
+                    buffer: plan.buffer_ids[bi],
+                    have: st.space[bi],
                     need,
                 });
             }
@@ -701,70 +1197,66 @@ impl<'a> Simulator<'a> {
     }
 
     /// Starts the firing whose per-edge quanta the immediately preceding
-    /// successful [`startable`](Self::startable) left in the task's
-    /// scratch.
+    /// successful [`startable`](Self::startable) left in the scratch.
     fn start_firing(&mut self, pos: usize) {
-        let k = self.tasks[pos].started;
-        let immediate_free =
-            pos == self.endpoint && self.config.release == ConstrainedRelease::Immediate;
+        let plan = self.plan;
+        let k = self.st.started[pos];
+        let immediate_free = pos == plan.endpoint && plan.immediate_free;
         let mut consumed = 0u64;
         let mut produced = 0u64;
-        for i in 0..self.tasks[pos].inputs.len() {
-            let bi = self.tasks[pos].inputs[i];
-            let c = self.tasks[pos].claimed_in[i];
-            let b = &mut self.buffers[bi];
-            b.tokens -= c;
-            b.consumed += c;
+        for e in plan.in_start[pos] as usize..plan.in_start[pos + 1] as usize {
+            let bi = plan.in_buf[e] as usize;
+            let c = self.st.claimed_in[e];
+            self.st.tokens[bi] -= c;
+            self.st.consumed[bi] += c;
             consumed += c;
             if immediate_free {
-                b.space += c;
+                self.st.space[bi] += c;
                 // Space freed upstream can enable the producer.
-                let producer = b.producer_pos;
-                self.dirty[producer] = true;
+                self.mark_dirty(plan.producer_pos[bi] as usize);
             }
         }
-        for i in 0..self.tasks[pos].outputs.len() {
-            let bi = self.tasks[pos].outputs[i];
-            let p = self.tasks[pos].claimed_out[i];
-            let b = &mut self.buffers[bi];
-            b.space -= p;
-            b.max_occupancy = b.max_occupancy.max(b.capacity - b.space);
+        for e in plan.out_start[pos] as usize..plan.out_start[pos + 1] as usize {
+            let bi = plan.out_buf[e] as usize;
+            let p = self.st.claimed_out[e];
+            self.st.space[bi] -= p;
+            let occupancy = self.st.capacity[bi] - self.st.space[bi];
+            if occupancy > self.st.max_occupancy[bi] {
+                self.st.max_occupancy[bi] = occupancy;
+            }
             produced += p;
         }
-        let start = self.now;
-        let rho = self.tasks[pos].rho;
+        let start = self.st.now;
+        let rho = plan.rho[pos];
         let finish = start + rho;
-        {
-            let task = &mut self.tasks[pos];
-            task.busy = true;
-            task.started += 1;
-            task.busy_ticks += rho;
-        }
-        self.push(finish, EventKind::Finish { task: pos });
+        self.st.busy[pos] = true;
+        self.st.started[pos] = k + 1;
+        self.st.busy_ticks[pos] += rho;
+        self.push(finish, pos as u32);
 
-        if pos == self.endpoint {
-            self.first_start.get_or_insert(start);
-            self.last_start = Some(start);
-            match self.offset {
+        if pos == plan.endpoint {
+            self.st.first_start.get_or_insert(start);
+            self.st.last_start = Some(start);
+            match plan.offset {
                 None => {
-                    let drift = start - k as i128 * self.period;
-                    self.max_drift = Some(self.max_drift.map_or(drift, |d| d.max(drift)));
+                    let drift = start - k as i128 * plan.period;
+                    self.st.max_drift = Some(self.st.max_drift.map_or(drift, |d| d.max(drift)));
                 }
                 Some(offset) => {
-                    let lateness = start - (offset + k as i128 * self.period);
-                    self.max_lateness =
-                        Some(self.max_lateness.map_or(lateness, |d| d.max(lateness)));
+                    let lateness = start - (offset + k as i128 * plan.period);
+                    self.st.max_lateness =
+                        Some(self.st.max_lateness.map_or(lateness, |d| d.max(lateness)));
                 }
             }
         }
-        let record = match self.config.trace {
+        let record = match plan.config.trace {
             TraceLevel::All => true,
-            TraceLevel::Endpoint => pos == self.endpoint,
+            TraceLevel::Endpoint => pos == plan.endpoint,
             TraceLevel::None => false,
         };
         if record {
-            self.trace.push(TickRecord {
-                task: self.tasks[pos].id,
+            self.st.trace.push(TickRecord {
+                task: plan.task_ids[pos],
                 firing: k,
                 start,
                 finish,
@@ -775,228 +1267,304 @@ impl<'a> Simulator<'a> {
     }
 
     fn apply_finish(&mut self, pos: usize) {
-        debug_assert!(self.tasks[pos].busy, "finish event for an idle task");
+        debug_assert!(self.st.busy[pos], "finish event for an idle task");
+        let plan = self.plan;
         // The firing completing now is the one started last (at most one
         // is ever in flight), so its quanta still sit in the scratch —
         // a busy task never reaches the scratch writes in `startable`.
-        let immediate_free =
-            pos == self.endpoint && self.config.release == ConstrainedRelease::Immediate;
+        let immediate_free = pos == plan.endpoint && plan.immediate_free;
         if !immediate_free {
-            for i in 0..self.tasks[pos].inputs.len() {
-                let bi = self.tasks[pos].inputs[i];
-                let c = self.tasks[pos].claimed_in[i];
-                let b = &mut self.buffers[bi];
-                b.space += c;
+            for e in plan.in_start[pos] as usize..plan.in_start[pos + 1] as usize {
+                let bi = plan.in_buf[e] as usize;
+                self.st.space[bi] += self.st.claimed_in[e];
                 // Space freed upstream can enable the producer.
-                let producer = b.producer_pos;
-                self.dirty[producer] = true;
+                self.mark_dirty(plan.producer_pos[bi] as usize);
             }
         }
-        for i in 0..self.tasks[pos].outputs.len() {
-            let bi = self.tasks[pos].outputs[i];
-            let p = self.tasks[pos].claimed_out[i];
-            let b = &mut self.buffers[bi];
-            b.tokens += p;
-            b.produced += p;
+        for e in plan.out_start[pos] as usize..plan.out_start[pos + 1] as usize {
+            let bi = plan.out_buf[e] as usize;
+            let p = self.st.claimed_out[e];
+            self.st.tokens[bi] += p;
+            self.st.produced[bi] += p;
             // Tokens produced downstream can enable the consumer.
-            let consumer = b.consumer_pos;
-            self.dirty[consumer] = true;
+            self.mark_dirty(plan.consumer_pos[bi] as usize);
         }
-        let task = &mut self.tasks[pos];
-        task.busy = false;
-        task.finished += 1;
+        self.st.busy[pos] = false;
+        self.st.finished[pos] += 1;
         // The task itself is enabled again now that it is idle.
-        self.dirty[pos] = true;
+        self.mark_dirty(pos);
     }
 
-    /// Starts every startable task; returns whether anything started.
-    /// Only tasks flagged dirty are examined — every transition that can
-    /// enable a task (finish, release, immediate space free) flags it.
-    fn try_starts(&mut self) -> bool {
-        let mut any = false;
-        // Sweep until stable: one start can enable a neighbour at the same
-        // instant (e.g. a zero-response-time handoff).  Topological
-        // position order matches the reference engine so traces stay
-        // identical.
+    /// Starts every startable task, to a fixpoint.  Only dirty tasks are
+    /// examined — every transition that can enable a task (finish,
+    /// release, immediate space free) marks one — so settling an instant
+    /// costs the affected tasks, not the whole graph.
+    ///
+    /// The dirty set is a bitmap over topological positions; each sweep
+    /// scans its set bits in ascending position order (matching the
+    /// reference engine, so traces stay identical), taking each word
+    /// before processing it so tasks dirtied mid-sweep land in the next
+    /// sweep.  A start can only dirty strictly-upstream producers —
+    /// positions at or behind the scan cursor — so this is exactly the
+    /// reference's ascending-position re-scan, without a sort.
+    fn try_starts(&mut self) {
         loop {
-            let mut progressed = false;
-            for pos in 0..self.tasks.len() {
-                if !self.dirty[pos] {
+            let mut any_dirty = false;
+            for w in 0..self.st.dirty.len() {
+                let mut bits = self.st.dirty[w];
+                if bits == 0 {
                     continue;
                 }
-                self.dirty[pos] = false;
-                if self.startable(pos, true).is_ok() {
-                    self.start_firing(pos);
-                    progressed = true;
-                    any = true;
-                }
-            }
-            if !progressed {
-                return any;
-            }
-        }
-    }
-
-    /// Pops and applies every event scheduled exactly at `self.now` in one
-    /// batch; returns whether anything was processed.  Stops early —
-    /// flagging `budget_exhausted` — when another event is due but the
-    /// budget is already spent, so no run ever processes more than
-    /// [`SimConfig::max_events`] events.
-    fn drain_events_at_now(&mut self) -> bool {
-        let mut any = false;
-        while let Some(event) = self.heap.peek() {
-            if event.time != self.now {
-                break;
-            }
-            if self.events_processed >= self.config.max_events {
-                self.budget_exhausted = true;
-                break;
-            }
-            let event = self.heap.pop().expect("peeked");
-            self.events_processed += 1;
-            any = true;
-            match event.kind {
-                EventKind::Finish { task } => self.apply_finish(task),
-                EventKind::Release => {
-                    self.releases_issued += 1;
-                    self.dirty[self.endpoint] = true;
-                    if self.releases_issued < self.config.max_endpoint_firings {
-                        self.push(event.time + self.period, EventKind::Release);
+                any_dirty = true;
+                self.st.dirty[w] = 0;
+                while bits != 0 {
+                    let pos = (w << 6) | bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    if self.startable(pos, true).is_ok() {
+                        self.start_firing(pos);
                     }
                 }
             }
+            if !any_dirty {
+                return;
+            }
         }
-        any
     }
 
-    /// After the instant `self.now` has fully settled, records a deadline
-    /// miss for every release that passed without the endpoint starting.
+    /// Pops and applies every event scheduled exactly at `self.st.now` in
+    /// one batch; returns whether anything was processed.  Stops early —
+    /// flagging `budget_exhausted` — when another event is due but the
+    /// budget is already spent, so no run ever processes more than
+    /// [`SimConfig::max_events`] events.
+    fn drain_events_at_now(&mut self) {
+        let release_node = self.plan.task_ids.len() as u32;
+        loop {
+            if self.st.events_processed >= self.plan.config.max_events {
+                // Only exhausted if an event actually remained due.
+                self.st.budget_exhausted = self.st.queue.has_due(self.st.now);
+                return;
+            }
+            let Some(node) = self.st.queue.pop_due(self.st.now) else {
+                return;
+            };
+            self.st.events_processed += 1;
+            if node == release_node {
+                self.st.releases_issued += 1;
+                self.mark_dirty(self.plan.endpoint);
+                if self.st.releases_issued < self.plan.config.max_endpoint_firings {
+                    self.push(self.st.now + self.plan.period, release_node);
+                }
+            } else {
+                self.apply_finish(node as usize);
+            }
+        }
+    }
+
+    /// After the instant `self.st.now` has fully settled, records a
+    /// deadline miss for every release that passed without the endpoint
+    /// starting.
     fn check_misses(&mut self) {
-        if let Some(offset) = self.offset {
-            let started = self.tasks[self.endpoint].started;
-            for firing in started..self.releases_issued {
-                let release = offset + firing as i128 * self.period;
-                if release < self.now {
+        if let Some(offset) = self.plan.offset {
+            let endpoint = self.plan.endpoint;
+            let started = self.st.started[endpoint];
+            for firing in started..self.st.releases_issued {
+                let release = offset + firing as i128 * self.plan.period;
+                if release < self.st.now {
                     // Already reported when its instant settled.
                     continue;
                 }
                 let reason = self
-                    .startable(self.endpoint, false)
+                    .startable(endpoint, false)
                     .err()
                     .unwrap_or(BlockReason::NotReleased);
-                self.violations.push(Violation {
+                let release = self.rational(release);
+                self.st.violations.push(Violation {
                     firing,
-                    release: self.rational(release),
+                    release,
                     reason,
                 });
             }
         }
     }
 
-    /// Runs the simulation to completion and returns the report; all tick
+    fn run_loop(&mut self) -> SimOutcome {
+        loop {
+            // Settle the current instant: alternate event draining and
+            // task starts until neither makes progress.  `try_starts`
+            // runs to a fixpoint, so once no event remains due at `now`
+            // the instant is settled — zero-response-time cascades are
+            // the one path that re-arms `now` from within the instant.
+            loop {
+                self.drain_events_at_now();
+                if self.st.budget_exhausted {
+                    return SimOutcome::EventBudgetExhausted;
+                }
+                self.try_starts();
+                if !self.st.queue.has_due(self.st.now) {
+                    break;
+                }
+            }
+            self.check_misses();
+            if self.plan.config.stop_on_violation && !self.st.violations.is_empty() {
+                return SimOutcome::StoppedOnViolation;
+            }
+            if self.st.finished[self.plan.endpoint] >= self.plan.config.max_endpoint_firings {
+                return SimOutcome::Completed;
+            }
+            // Advance to the next event.
+            match self.st.queue.next_time(self.st.now) {
+                Some(time) => {
+                    if let Some(max_time) = self.plan.max_time {
+                        if time > max_time {
+                            return SimOutcome::HorizonReached;
+                        }
+                    }
+                    self.st.now = time;
+                }
+                None => {
+                    for pos in 0..self.plan.task_ids.len() {
+                        if let Err(reason) = self.startable(pos, true) {
+                            let id = self.plan.task_ids[pos];
+                            self.st.blocked.push((id, reason));
+                        }
+                    }
+                    return SimOutcome::Deadlock {
+                        time: self.rational(self.st.now),
+                        blocked: mem::take(&mut self.st.blocked),
+                    };
+                }
+            }
+        }
+    }
+
+    /// Converts the settled state into a [`SimReport`]; all tick
     /// quantities convert back to [`Rational`] here, at the boundary.
-    pub fn run(mut self) -> SimReport {
-        let outcome = self.run_loop();
+    /// The state stays reusable for the next run.
+    fn report(&mut self, outcome: SimOutcome) -> SimReport {
+        let plan = self.plan;
         let endpoint = EndpointStats {
-            task: self.tasks[self.endpoint].id,
-            firings: self.tasks[self.endpoint].finished,
-            first_start: self.first_start.map(|t| self.rational(t)),
-            last_start: self.last_start.map(|t| self.rational(t)),
-            max_drift: self.max_drift.map(|t| self.rational(t)),
-            max_lateness: self.max_lateness.map(|t| self.rational(t)),
+            task: plan.task_ids[plan.endpoint],
+            firings: self.st.finished[plan.endpoint],
+            first_start: self.st.first_start.map(|t| self.rational(t)),
+            last_start: self.st.last_start.map(|t| self.rational(t)),
+            max_drift: self.st.max_drift.map(|t| self.rational(t)),
+            max_lateness: self.st.max_lateness.map(|t| self.rational(t)),
         };
-        let buffers = self
-            .buffers
-            .iter()
-            .map(|b| BufferStats {
-                buffer: b.id,
-                name: self.tg.buffer(b.id).name().to_owned(),
-                capacity: b.capacity,
-                max_occupancy: b.max_occupancy,
-                produced: b.produced,
-                consumed: b.consumed,
+        let buffers = (0..plan.buffer_ids.len())
+            .map(|bi| BufferStats {
+                buffer: plan.buffer_ids[bi],
+                name: plan.tg.buffer(plan.buffer_ids[bi]).name().to_owned(),
+                capacity: self.st.capacity[bi],
+                max_occupancy: self.st.max_occupancy[bi],
+                produced: self.st.produced[bi],
+                consumed: self.st.consumed[bi],
             })
             .collect();
-        let tasks = self
-            .tasks
-            .iter()
-            .map(|t| TaskStats {
-                task: t.id,
-                name: self.tg.task(t.id).name().to_owned(),
-                firings: t.finished,
-                busy_time: self.rational(t.busy_ticks),
+        let tasks = (0..plan.task_ids.len())
+            .map(|pos| TaskStats {
+                task: plan.task_ids[pos],
+                name: plan.tg.task(plan.task_ids[pos]).name().to_owned(),
+                firings: self.st.finished[pos],
+                busy_time: self.rational(self.st.busy_ticks[pos]),
             })
             .collect();
         let trace = self
+            .st
             .trace
             .iter()
             .map(|r| FiringRecord {
                 task: r.task,
                 firing: r.firing,
-                start: self.rational(r.start),
-                finish: self.rational(r.finish),
+                start: Rational::from_ticks(r.start, plan.tick_den),
+                finish: Rational::from_ticks(r.finish, plan.tick_den),
                 consumed: r.consumed,
                 produced: r.produced,
             })
             .collect();
-        let end_time = self.rational(self.now);
+        let end_time = self.rational(self.st.now);
         SimReport {
             outcome,
-            violations: self.violations,
+            violations: mem::take(&mut self.st.violations),
             endpoint,
             buffers,
             tasks,
             trace,
-            events_processed: self.events_processed,
+            events_processed: self.st.events_processed,
             end_time,
         }
     }
+}
 
-    fn run_loop(&mut self) -> SimOutcome {
-        loop {
-            // Settle the current instant: alternate event draining and
-            // task starts until neither makes progress.
-            loop {
-                let drained = self.drain_events_at_now();
-                if self.budget_exhausted {
-                    return SimOutcome::EventBudgetExhausted;
-                }
-                let started = self.try_starts();
-                if !drained && !started {
-                    break;
-                }
-            }
-            self.check_misses();
-            if self.config.stop_on_violation && !self.violations.is_empty() {
-                return SimOutcome::StoppedOnViolation;
-            }
-            if self.tasks[self.endpoint].finished >= self.config.max_endpoint_firings {
-                return SimOutcome::Completed;
-            }
-            // Advance to the next event.
-            match self.heap.peek() {
-                Some(event) => {
-                    if let Some(max_time) = self.max_time {
-                        if event.time > max_time {
-                            return SimOutcome::HorizonReached;
-                        }
-                    }
-                    self.now = event.time;
-                }
-                None => {
-                    let mut blocked = Vec::new();
-                    for pos in 0..self.tasks.len() {
-                        if let Err(reason) = self.startable(pos, true) {
-                            blocked.push((self.tasks[pos].id, reason));
-                        }
-                    }
-                    return SimOutcome::Deadlock {
-                        time: self.rational(self.now),
-                        blocked,
-                    };
-                }
-            }
-        }
+/// The discrete-event simulator: a [`SimPlan`] paired with its
+/// [`SimState`] and one [`QuantumPlan`], for the common build-run-discard
+/// shape.  See the module docs for the semantics, the integer tick clock,
+/// and the arena layout it runs on; batteries that run one graph many
+/// times should hold the plan and state directly ([`SimPlan::run`]).
+///
+/// # Examples
+///
+/// ```
+/// use vrdf_core::{compute_buffer_capacities, QuantumSet, Rational, TaskGraph,
+///     ThroughputConstraint};
+/// use vrdf_sim::{QuantumPlan, QuantumPolicy, SimConfig, Simulator};
+///
+/// let mut tg = TaskGraph::linear_chain(
+///     [("wa", Rational::ONE), ("wb", Rational::ONE)],
+///     [("b", QuantumSet::constant(3), QuantumSet::new([2, 3])?)],
+/// )?;
+/// let constraint = ThroughputConstraint::on_sink(Rational::from(3u64))?;
+/// compute_buffer_capacities(&tg, constraint)?.apply(&mut tg);
+///
+/// let mut config = SimConfig::self_timed(constraint);
+/// config.max_endpoint_firings = 100;
+/// let report = Simulator::new(&tg, QuantumPlan::uniform(QuantumPolicy::Max), config)?
+///     .run();
+/// assert!(report.ok());
+/// assert_eq!(report.endpoint.firings, 100);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Simulator<'a> {
+    plan: SimPlan<'a>,
+    state: SimState,
+    quanta: QuantumPlan,
+}
+
+impl<'a> Simulator<'a> {
+    /// Builds a simulator over a task graph (chain or fork/join DAG)
+    /// whose buffer capacities `ζ(b)` are all set (use
+    /// [`vrdf_core::GraphAnalysis::apply`] or
+    /// [`TaskGraph::set_capacity`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Analysis`] — the graph is not a valid DAG, or the
+    ///   constrained endpoint is ambiguous.
+    /// * [`SimError::CapacityUnset`] — a buffer has no capacity.
+    /// * [`SimError::QuantumNotInSet`] / [`SimError::EmptyCycle`] — the
+    ///   plan draws values outside a buffer's quantum set.
+    /// * [`SimError::TickOverflow`] — the run's times cannot be rescaled
+    ///   to a shared integer tick clock within `u64` ticks.
+    pub fn new(
+        tg: &'a TaskGraph,
+        plan: QuantumPlan,
+        config: SimConfig,
+    ) -> Result<Simulator<'a>, SimError> {
+        let sim_plan = SimPlan::new(tg, config)?;
+        plan.validate(tg)?;
+        sim_plan.require_capacities()?;
+        let state = sim_plan.state();
+        Ok(Simulator {
+            plan: sim_plan,
+            state,
+            quanta: plan,
+        })
+    }
+
+    /// Runs the simulation to completion and returns the report.
+    pub fn run(mut self) -> SimReport {
+        self.plan
+            .run(&mut self.state, &self.quanta)
+            .expect("quantum plan and capacities validated at construction")
     }
 }
 
@@ -1138,6 +1706,41 @@ mod tests {
     }
 
     #[test]
+    fn plan_probes_unset_capacity_via_overrides() {
+        // A capacity-less graph plans fine; a run without overrides is
+        // rejected, a run with them proceeds — the clone-free probe path.
+        let tg = TaskGraph::linear_chain(
+            [("wa", rat(1, 1)), ("wb", rat(1, 1))],
+            [("b", q(&[3]), q(&[2, 3]))],
+        )
+        .unwrap();
+        let constraint = ThroughputConstraint::on_sink(rat(3, 1)).unwrap();
+        let mut config = SimConfig::self_timed(constraint);
+        config.max_endpoint_firings = 20;
+        let plan = SimPlan::new(&tg, config).unwrap();
+        assert!(matches!(
+            plan.require_capacities(),
+            Err(SimError::CapacityUnset { .. })
+        ));
+        let mut state = plan.state();
+        let quanta = QuantumPlan::uniform(QuantumPolicy::Max);
+        let err = plan.run(&mut state, &quanta).err().unwrap();
+        assert!(matches!(err, SimError::CapacityUnset { .. }));
+        let buf = tg.buffer_by_name("b").unwrap();
+        let report = plan
+            .run_with_capacities(&mut state, &quanta, &[(buf, 5)])
+            .unwrap();
+        assert!(report.ok());
+        assert_eq!(report.buffers[0].capacity, 5);
+        // Later overrides win, as with `GraphAnalysis::with_capacities`.
+        let report = plan
+            .run_with_capacities(&mut state, &quanta, &[(buf, 5), (buf, 2)])
+            .unwrap();
+        assert!(!report.ok());
+        assert_eq!(report.buffers[0].capacity, 2);
+    }
+
+    #[test]
     fn event_budget_guards_zero_response_loops() {
         // Source with zero response time and plentiful space spins at t=0;
         // the budget stops it.
@@ -1212,6 +1815,40 @@ mod tests {
         assert!(report.ok(), "violations: {:?}", report.violations);
         assert_eq!(report.endpoint.firings, 200);
         assert_eq!(report.endpoint.task, tg.task_by_name("src").unwrap());
+    }
+
+    #[test]
+    fn reused_state_is_indistinguishable_from_fresh_state() {
+        // The same plan run twice on one state must equal a run on a
+        // fresh state — the reset leaves no residue, across completing,
+        // deadlocking, and violating runs.
+        let (tg, constraint) = fig1_graph(5);
+        let mut config = SimConfig::self_timed(constraint);
+        config.max_endpoint_firings = 50;
+        config.trace = TraceLevel::All;
+        let plan = SimPlan::new(&tg, config).unwrap();
+        let quanta = QuantumPlan::random(11);
+        let mut reused = plan.state();
+
+        let first = plan.run(&mut reused, &quanta).unwrap();
+        // Interleave a deadlocking run (capacity 2 cannot hold a max
+        // firing) and a missing run to dirty every code path's state.
+        let buf = tg.buffer_by_name("b").unwrap();
+        let starved = plan
+            .run_with_capacities(&mut reused, &quanta, &[(buf, 2)])
+            .unwrap();
+        assert!(matches!(starved.outcome, SimOutcome::Deadlock { .. }));
+        let second = plan.run(&mut reused, &quanta).unwrap();
+        let fresh = plan.run(&mut plan.state(), &quanta).unwrap();
+
+        for (label, report) in [("second", &second), ("fresh", &fresh)] {
+            assert_eq!(first.outcome, report.outcome, "{label}");
+            assert_eq!(first.violations, report.violations, "{label}");
+            assert_eq!(first.trace, report.trace, "{label}");
+            assert_eq!(first.events_processed, report.events_processed, "{label}");
+            assert_eq!(first.end_time, report.end_time, "{label}");
+            assert_eq!(first.endpoint.firings, report.endpoint.firings, "{label}");
+        }
     }
 
     #[test]

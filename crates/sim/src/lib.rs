@@ -14,8 +14,11 @@
 //!
 //! * [`policy`] — deterministic quantum sequences (constant, cyclic,
 //!   min/max corners, seeded random), reproducible across runs.
-//! * [`engine`] — the event-driven executor: [`Simulator`], [`SimConfig`],
-//!   firing traces, deadline-miss and deadlock detection.
+//! * [`engine`] — the event-driven executor on flat struct-of-arrays
+//!   arenas: a construct-once [`SimPlan`] (DAG validation, integer tick
+//!   rescale, flattened adjacency) run many times over a reusable
+//!   [`SimState`]; [`Simulator`] wraps the pair for one-shot runs.
+//!   Firing traces, deadline-miss and deadlock detection.
 //! * [`validate`] — [`validate_capacities`], the executable oracle for the
 //!   paper's sufficiency theorem: replay arbitrary admissible quantum
 //!   scenarios against the capacities the analysis computed and confirm
@@ -58,14 +61,14 @@ pub mod validate;
 
 pub use engine::{
     BlockReason, BufferStats, EndpointBehavior, EndpointStats, FiringRecord, SimConfig, SimOutcome,
-    SimReport, Simulator, TaskStats, TraceLevel, Violation,
+    SimPlan, SimReport, SimState, Simulator, TaskStats, TraceLevel, Violation,
 };
 pub use policy::{splitmix64, CompiledQuantum, QuantumPlan, QuantumPolicy, Side};
 pub use reference::ReferenceSimulator;
 pub use search::{minimize_capacities, EdgeMinimum, MinimizationReport, SearchOptions};
 pub use validate::{
     conservative_offset, measure_drift, validate_assigned_capacities, validate_capacities,
-    OccupancyBreach, ScenarioResult, ValidationOptions, ValidationReport,
+    OccupancyBreach, ScenarioResult, ScenarioRunner, ValidationOptions, ValidationReport,
 };
 
 use std::fmt;

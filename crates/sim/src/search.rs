@@ -9,10 +9,14 @@
 //! smallest capacity that still survives the full scenario battery, then
 //! runs coordinate-descent passes over all edges until a fixed point.
 //!
-//! Every probe is one [`validate_assigned_capacities`] run — the same
-//! parallel scenario runner the oracle uses, with
+//! Every probe replays the full battery on one shared [`ScenarioRunner`]
+//! — the same parallel scenario runner the oracle uses, with
 //! [`ValidationOptions::stop_on_violation`] forced on so infeasible
-//! probes are rejected at their first deadline miss.  Feasibility is
+//! probes are rejected at their first deadline miss.  The runner's
+//! [`SimPlan`](crate::SimPlan) is built once for the whole search and
+//! each probe only swaps capacity overrides and resets the reusable
+//! arenas, so the thousands of probes a search spends pay no per-probe
+//! graph clone or engine rebuild.  Feasibility is
 //! monotone in capacity (extra containers only relax back-pressure), so
 //! the per-edge binary search is sound; the strictly periodic offset is
 //! pinned to the Eq. (4) analysis' [`conservative_offset`] for every
@@ -22,15 +26,13 @@
 //! battery (scenario set, endpoint firings, offset): a capacity is
 //! "minimal" when one container less fails at least one battery scenario.
 //! Verdicts are thread-count-invariant because the underlying
-//! [`ValidationReport`] is.
+//! [`ValidationReport`](crate::validate::ValidationReport) is.
 
 use std::fmt;
 
 use vrdf_core::{BufferId, GraphAnalysis, Rational, TaskGraph};
 
-use crate::validate::{
-    conservative_offset, validate_assigned_capacities, ValidationOptions, ValidationReport,
-};
+use crate::validate::{conservative_offset, ScenarioRunner, ValidationOptions};
 use crate::SimError;
 
 /// Tunables for [`minimize_capacities`].
@@ -106,6 +108,10 @@ pub struct MinimizationReport {
     pub probes: u32,
     /// Probes whose battery came back all-clear.
     pub probes_passed: u32,
+    /// Total simulated events across every probe scenario, baseline
+    /// included — the search's raw simulation volume, for throughput
+    /// accounting.
+    pub events: u64,
 }
 
 impl MinimizationReport {
@@ -168,22 +174,22 @@ impl fmt::Display for MinimizationReport {
     }
 }
 
-/// One feasibility probe: the graph with `capacities` assigned, replayed
-/// against the full battery, stopping scenarios at their first violation.
-fn probe(
-    tg: &TaskGraph,
+/// Builds the probe battery for a search: one [`ScenarioRunner`] over the
+/// Eq. (4)-sized graph, with `stop_on_violation` forced on.  Every probe
+/// is a [`ScenarioRunner::validate`] call with the candidate capacities
+/// as overrides — a reset of the runner's arenas, not a rebuild.
+fn probe_runner<'g>(
+    sized: &'g TaskGraph,
     analysis: &GraphAnalysis,
     offset: Rational,
     opts: &SearchOptions,
-    capacities: &[(BufferId, u64)],
-) -> Result<ValidationReport, SimError> {
-    let sized = analysis.with_capacities(tg, capacities);
+) -> Result<ScenarioRunner<'g>, SimError> {
     let probe_opts = ValidationOptions {
         stop_on_violation: true,
         ..opts.validation.clone()
     };
-    validate_assigned_capacities(
-        &sized,
+    ScenarioRunner::new(
+        sized,
         analysis.constraint(),
         offset,
         analysis.options().release,
@@ -197,8 +203,10 @@ fn probe(
 /// no edge can shrink further.
 ///
 /// See the module docs for the algorithm and the meaning of
-/// "operational minimum".  The input graph is never mutated; all probes
-/// run on clones carrying the candidate capacities.
+/// "operational minimum".  The input graph is never mutated; the search
+/// clones it once (with the Eq. (4) capacities applied) and every probe
+/// overlays its candidate capacities on a shared, reusable
+/// [`ScenarioRunner`].
 ///
 /// # Errors
 ///
@@ -232,6 +240,14 @@ pub fn minimize_capacities(
     opts: &SearchOptions,
 ) -> Result<MinimizationReport, SimError> {
     let offset = conservative_offset(tg, analysis) + opts.validation.extra_offset;
+
+    // One sized clone and one runner for the entire search: each of the
+    // potentially thousands of probes below resets the runner's arenas
+    // and overlays its candidate capacities instead of cloning the graph
+    // and rebuilding the engine.
+    let sized = analysis.with_capacities(tg, &[]);
+    let mut runner = probe_runner(&sized, analysis, offset, opts)?;
+    let mut events = 0u64;
 
     // Working assignment, one slot per edge in the analysis' order.
     let mut current: Vec<(BufferId, u64)> = analysis
@@ -273,7 +289,9 @@ pub fn minimize_capacities(
 
     // The Eq. (4) baseline must hold, or "smaller still passes" verdicts
     // would be meaningless.
-    let baseline_clear = probe(tg, analysis, offset, opts, &current)?.all_clear();
+    let baseline = runner.validate(&current)?;
+    events += baseline.events();
+    let baseline_clear = baseline.all_clear();
     if !baseline_clear {
         return Ok(MinimizationReport {
             offset,
@@ -282,6 +300,7 @@ pub fn minimize_capacities(
             passes: 0,
             probes,
             probes_passed,
+            events,
         });
     }
     probes_passed += 1;
@@ -303,19 +322,21 @@ pub fn minimize_capacities(
             if known_good <= floor {
                 continue;
             }
-            let mut try_at = |cap: u64, current: &mut Vec<(BufferId, u64)>| {
-                current[i].1 = cap;
-                let report = probe(tg, analysis, offset, opts, current)?;
-                edges[i].probes += 1;
-                probes += 1;
-                let pass = report.all_clear();
-                if pass {
-                    probes_passed += 1;
-                }
-                Ok::<bool, SimError>(pass)
-            };
+            let mut try_at =
+                |cap: u64, current: &mut Vec<(BufferId, u64)>, runner: &mut ScenarioRunner<'_>| {
+                    current[i].1 = cap;
+                    let report = runner.validate(current)?;
+                    events += report.events();
+                    edges[i].probes += 1;
+                    probes += 1;
+                    let pass = report.all_clear();
+                    if pass {
+                        probes_passed += 1;
+                    }
+                    Ok::<bool, SimError>(pass)
+                };
             let mut known_good = known_good;
-            if !try_at(known_good - 1, &mut current)? {
+            if !try_at(known_good - 1, &mut current, &mut runner)? {
                 current[i].1 = known_good;
                 continue;
             }
@@ -325,7 +346,7 @@ pub fn minimize_capacities(
             let mut lo = floor;
             while lo < known_good {
                 let mid = lo + (known_good - lo) / 2;
-                if try_at(mid, &mut current)? {
+                if try_at(mid, &mut current, &mut runner)? {
                     known_good = mid;
                 } else {
                     lo = mid + 1;
@@ -347,6 +368,7 @@ pub fn minimize_capacities(
         passes,
         probes,
         probes_passed,
+        events,
     })
 }
 
@@ -398,22 +420,21 @@ mod tests {
         assert!(report.to_string().contains("minimal"));
 
         // The reported minimum really holds, and one container below it
-        // really fails — the search's own verdicts, revalidated by hand.
-        let revalidate = |capacity: u64| {
-            probe(
-                &tg,
-                &analysis,
-                report.offset,
-                &opts,
-                &[(edge.buffer, capacity)],
-            )
-            .unwrap()
-            .all_clear()
+        // really fails — the search's own verdicts, revalidated by hand
+        // on one reused runner, exactly as the search probes.
+        let sized = analysis.with_capacities(&tg, &[]);
+        let mut runner = probe_runner(&sized, &analysis, report.offset, &opts).unwrap();
+        let mut revalidate = |capacity: u64| {
+            runner
+                .validate(&[(edge.buffer, capacity)])
+                .unwrap()
+                .all_clear()
         };
         assert!(revalidate(edge.minimal));
         if edge.minimal > edge.floor {
             assert!(!revalidate(edge.minimal - 1));
         }
+        assert!(report.events > 0, "probe volume is accounted");
     }
 
     #[test]

@@ -15,6 +15,12 @@
 //! merged back in scenario order, making the report bit-identical for
 //! every thread count.
 //!
+//! The battery itself is a reusable [`ScenarioRunner`]: one [`SimPlan`]
+//! per graph, one [`SimState`] per worker thread, and per-buffer capacity
+//! overrides per [`ScenarioRunner::validate`] call — so a capacity search
+//! probing thousands of assignments pays graph validation, the tick
+//! rescale, and arena allocation once, not once per probe.
+//!
 //! The periodic offset is chosen *conservatively* from the analysis
 //! ([`conservative_offset`]): by linearity of VRDF, shifting the whole
 //! schedule later is always admissible, so any offset at or above the
@@ -24,9 +30,14 @@
 
 use std::fmt;
 
-use vrdf_core::{ConstraintLocation, GraphAnalysis, Rational, TaskGraph, ThroughputConstraint};
+use vrdf_core::{
+    BufferId, ConstrainedRelease, ConstraintLocation, GraphAnalysis, Rational, TaskGraph,
+    ThroughputConstraint,
+};
 
-use crate::engine::{SimConfig, SimOutcome, SimReport, Simulator, TraceLevel, Violation};
+use crate::engine::{
+    SimConfig, SimOutcome, SimPlan, SimReport, SimState, Simulator, TraceLevel, Violation,
+};
 use crate::policy::{QuantumPlan, QuantumPolicy};
 use crate::SimError;
 
@@ -161,6 +172,15 @@ impl ValidationReport {
     /// The scenarios that failed, with their first violation or outcome.
     pub fn failures(&self) -> impl Iterator<Item = &ScenarioResult> {
         self.scenarios.iter().filter(|s| !s.passed())
+    }
+
+    /// Total simulated events across all scenarios — the battery's raw
+    /// simulation volume, for throughput accounting.
+    pub fn events(&self) -> u64 {
+        self.scenarios
+            .iter()
+            .map(|s| s.report.events_processed)
+            .sum()
     }
 }
 
@@ -328,26 +348,6 @@ pub fn validate_assigned_capacities(
     validate_graph(tg, constraint, offset, release, opts)
 }
 
-/// Runs one named scenario to a [`ScenarioResult`].
-fn run_scenario(
-    tg: &TaskGraph,
-    constraint: ThroughputConstraint,
-    offset: Rational,
-    release: vrdf_core::ConstrainedRelease,
-    opts: &ValidationOptions,
-    name: String,
-    plan: QuantumPlan,
-) -> Result<ScenarioResult, SimError> {
-    let mut config = SimConfig::periodic(constraint, offset);
-    config.release = release;
-    config.max_endpoint_firings = opts.endpoint_firings;
-    config.max_events = opts.max_events;
-    config.stop_on_violation = opts.stop_on_violation;
-    config.trace = TraceLevel::None;
-    let report = Simulator::new(tg, plan, config)?.run();
-    Ok(ScenarioResult::from_report(name, report))
-}
-
 /// The worker count to use for `n` scenarios under the configured cap.
 fn effective_threads(cap: usize, n: usize) -> usize {
     let cap = if cap == 0 {
@@ -358,64 +358,154 @@ fn effective_threads(cap: usize, n: usize) -> usize {
     cap.min(n).max(1)
 }
 
+/// A reusable scenario battery over one graph.
+///
+/// Construction pays the per-graph work exactly once: the [`SimPlan`]
+/// (DAG validation, tick rescale, flattened adjacency), the scenario
+/// list, and one [`SimState`] arena per worker thread.  Every
+/// [`validate`](ScenarioRunner::validate) call then replays the full
+/// battery — optionally with per-buffer capacity overrides — by
+/// resetting those arenas in place.  This is the probe path of
+/// [`crate::minimize_capacities`], which runs thousands of batteries per
+/// search; it pays neither a graph clone nor an engine rebuild per
+/// probe.
+///
+/// The battery fans out over a scoped thread pool (worker `w` takes
+/// scenarios `w, w + threads, …`) and the merge re-sorts by scenario
+/// index, so the report is bit-identical for every thread count.
+pub struct ScenarioRunner<'a> {
+    plan: SimPlan<'a>,
+    scenarios: Vec<(String, QuantumPlan)>,
+    states: Vec<SimState>,
+    threads: usize,
+    offset: Rational,
+}
+
+impl<'a> ScenarioRunner<'a> {
+    /// Builds the battery for a graph: the scenario list from `opts`
+    /// (corners, min/max cycle, seeded randoms), the periodic endpoint at
+    /// `offset`, and one reusable simulation state per worker thread.
+    ///
+    /// Capacities may still be unset here when every later
+    /// [`validate`](ScenarioRunner::validate) call overrides them.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from plan construction (invalid DAG,
+    /// ambiguous endpoint, tick overflow).
+    pub fn new(
+        tg: &'a TaskGraph,
+        constraint: ThroughputConstraint,
+        offset: Rational,
+        release: ConstrainedRelease,
+        opts: &ValidationOptions,
+    ) -> Result<ScenarioRunner<'a>, SimError> {
+        let mut config = SimConfig::periodic(constraint, offset);
+        config.release = release;
+        config.max_endpoint_firings = opts.endpoint_firings;
+        config.max_events = opts.max_events;
+        config.stop_on_violation = opts.stop_on_violation;
+        config.trace = TraceLevel::None;
+        let plan = SimPlan::new(tg, config)?;
+        let scenarios = scenario_plans(tg, opts);
+        let threads = effective_threads(opts.threads, scenarios.len());
+        let states = (0..threads).map(|_| plan.state()).collect();
+        Ok(ScenarioRunner {
+            plan,
+            scenarios,
+            states,
+            threads,
+            offset,
+        })
+    }
+
+    /// The strictly periodic offset every scenario uses.
+    pub fn offset(&self) -> Rational {
+        self.offset
+    }
+
+    /// Number of scenarios in the battery.
+    pub fn scenario_count(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// Replays the whole battery, with per-buffer capacity overrides
+    /// applied on top of the graph's assignments for every scenario.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the runs (e.g. a buffer with neither
+    /// an assigned nor an overridden capacity); scenario violations are
+    /// reported in the [`ValidationReport`], not as errors.
+    pub fn validate(
+        &mut self,
+        capacities: &[(BufferId, u64)],
+    ) -> Result<ValidationReport, SimError> {
+        let plan = &self.plan;
+        let scenarios = &self.scenarios;
+        let threads = self.threads;
+
+        let results = if threads <= 1 {
+            let state = &mut self.states[0];
+            scenarios
+                .iter()
+                .map(|(name, quanta)| {
+                    plan.run_with_capacities(state, quanta, capacities)
+                        .map(|report| ScenarioResult::from_report(name.clone(), report))
+                })
+                .collect::<Result<Vec<_>, _>>()?
+        } else {
+            // Strided fan-out: worker `w` takes scenarios w, w+threads, …
+            // on its own arena.  Each returns (index, result) pairs and
+            // the merge re-sorts by index, so the report is identical for
+            // every thread count.
+            let mut indexed: Vec<(usize, Result<ScenarioResult, SimError>)> =
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(threads);
+                    for (worker, state) in self.states.iter_mut().enumerate() {
+                        handles.push(scope.spawn(move || {
+                            scenarios
+                                .iter()
+                                .enumerate()
+                                .skip(worker)
+                                .step_by(threads)
+                                .map(|(i, (name, quanta))| {
+                                    let result = plan
+                                        .run_with_capacities(state, quanta, capacities)
+                                        .map(|report| {
+                                            ScenarioResult::from_report(name.clone(), report)
+                                        });
+                                    (i, result)
+                                })
+                                .collect::<Vec<_>>()
+                        }));
+                    }
+                    handles
+                        .into_iter()
+                        .flat_map(|h| h.join().expect("scenario worker panicked"))
+                        .collect()
+                });
+            indexed.sort_by_key(|(i, _)| *i);
+            indexed
+                .into_iter()
+                .map(|(_, r)| r)
+                .collect::<Result<Vec<_>, _>>()?
+        };
+        Ok(ValidationReport {
+            offset: self.offset,
+            scenarios: results,
+        })
+    }
+}
+
 fn validate_graph(
     tg: &TaskGraph,
     constraint: ThroughputConstraint,
     offset: Rational,
-    release: vrdf_core::ConstrainedRelease,
+    release: ConstrainedRelease,
     opts: &ValidationOptions,
 ) -> Result<ValidationReport, SimError> {
-    let plans = scenario_plans(tg, opts);
-    let threads = effective_threads(opts.threads, plans.len());
-
-    let scenarios = if threads <= 1 {
-        plans
-            .into_iter()
-            .map(|(name, plan)| run_scenario(tg, constraint, offset, release, opts, name, plan))
-            .collect::<Result<Vec<_>, _>>()?
-    } else {
-        // Strided fan-out: worker `w` takes scenarios w, w+threads, …
-        // Each returns (index, result) pairs and the merge re-sorts by
-        // index, so the report is identical for every thread count.
-        let plans: Vec<(usize, String, QuantumPlan)> = plans
-            .into_iter()
-            .enumerate()
-            .map(|(i, (name, plan))| (i, name, plan))
-            .collect();
-        let mut indexed: Vec<(usize, Result<ScenarioResult, SimError>)> =
-            std::thread::scope(|scope| {
-                let mut handles = Vec::with_capacity(threads);
-                for worker in 0..threads {
-                    let chunk: Vec<(usize, String, QuantumPlan)> = plans
-                        .iter()
-                        .skip(worker)
-                        .step_by(threads)
-                        .map(|(i, name, plan)| (*i, name.clone(), plan.clone()))
-                        .collect();
-                    handles.push(scope.spawn(move || {
-                        chunk
-                            .into_iter()
-                            .map(|(i, name, plan)| {
-                                (
-                                    i,
-                                    run_scenario(tg, constraint, offset, release, opts, name, plan),
-                                )
-                            })
-                            .collect::<Vec<_>>()
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("scenario worker panicked"))
-                    .collect()
-            });
-        indexed.sort_by_key(|(i, _)| *i);
-        indexed
-            .into_iter()
-            .map(|(_, r)| r)
-            .collect::<Result<Vec<_>, _>>()?
-    };
-    Ok(ValidationReport { offset, scenarios })
+    ScenarioRunner::new(tg, constraint, offset, release, opts)?.validate(&[])
 }
 
 /// Measures the endpoint's self-timed drift `max_k (s_k − k·τ)`: the

@@ -18,7 +18,9 @@
 //!    capacities with all intermediates, per-task `φ`, violations, and
 //!    the minimization verdicts built on top of them.
 
-use vrdf_apps::synthetic::{random_chain, random_dag, ChainSpec, DagSpec};
+use vrdf_apps::synthetic::{
+    fork_join_of, random_chain, random_chain_of_length, random_dag, ChainSpec, DagSpec,
+};
 use vrdf_apps::{mp3_chain, mp3_constraint, mp3_fork_join};
 use vrdf_core::{
     compute_buffer_capacities, compute_buffer_capacities_via_chain, AnalysisOptions,
@@ -431,4 +433,225 @@ fn horizon_mode_is_identical_across_engines() {
         &config,
         "mp3 horizon-bounded",
     );
+}
+
+/// Picks a buffer roughly mid-graph and strangles it below the maximum
+/// production quantum, so a max-quanta scenario eventually wedges every
+/// task: the upstream half fills, the downstream half starves.
+fn strangle_mid_buffer(sized: &mut TaskGraph) {
+    let (id, cap) = {
+        let (id, buffer) = sized
+            .buffers()
+            .nth(sized.buffer_count() / 2)
+            .expect("graphs here have buffers");
+        (id, buffer.production().max().saturating_sub(1))
+    };
+    sized.set_capacity(id, cap);
+}
+
+#[test]
+fn large_chain_battery_is_identical_across_engines() {
+    // 128- and 256-task chains: the flat-arena engine's bucketed event
+    // wheel, dirty bitmaps, and CSR adjacency all cross their one-word /
+    // one-cache-line boundaries here, where an indexing slip would hide
+    // from the small-graph batteries.  Event budgets keep the reference
+    // engine's exact-rational runs debug-test sized; both engines must
+    // agree on where the budget bites, bit for bit.  Small quantum sets
+    // keep the cumulative rate ratios of a 256-hop chain inside i128
+    // rationals — the default spec's ratio random-walk overflows there.
+    let spec = ChainSpec {
+        max_quantum: 2,
+        max_set_len: 2,
+        rho_grid_subdivision: Some(1024),
+        ..ChainSpec::default()
+    };
+    for len in [128usize, 256] {
+        let (tg, constraint) = random_chain_of_length(97, len, &spec).unwrap();
+        let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
+        let offset = conservative_offset(&tg, &analysis);
+        let mut sized = tg.clone();
+        analysis.apply(&mut sized);
+
+        for (name, plan) in scenario_plans(0x1A26 ^ len as u64) {
+            let mut config = SimConfig::periodic(constraint, offset);
+            config.max_endpoint_firings = 40;
+            config.trace = TraceLevel::All;
+            config.max_events = 60_000;
+            run_both(
+                &sized,
+                &plan,
+                &config,
+                &format!("chain-{len} periodic {name}"),
+            );
+
+            let mut config = SimConfig::self_timed(constraint);
+            config.max_endpoint_firings = 40;
+            config.trace = TraceLevel::All;
+            config.max_events = 60_000;
+            run_both(
+                &sized,
+                &plan,
+                &config,
+                &format!("chain-{len} self-timed {name}"),
+            );
+        }
+
+        // Under-provisioned periodic: deadline misses at scale.
+        let mut missing = sized.clone();
+        let (first, cap) = missing
+            .buffers()
+            .find_map(|(id, buffer)| {
+                let cap = buffer.capacity().unwrap();
+                (cap > 1).then_some((id, cap))
+            })
+            .unwrap_or_else(|| panic!("chain-{len}: no buffer large enough to shrink"));
+        missing.set_capacity(first, cap - 1);
+        let mut config = SimConfig::periodic(constraint, offset);
+        config.max_endpoint_firings = 40;
+        config.stop_on_violation = false;
+        config.max_events = 60_000;
+        run_both(
+            &missing,
+            &QuantumPlan::uniform(QuantumPolicy::Max),
+            &config,
+            &format!("chain-{len} under-provisioned"),
+        );
+
+        // Strangled self-timed: both engines must wedge on the same
+        // deadlock, or agree on the budget if it bites first.
+        let mut wedged = sized.clone();
+        strangle_mid_buffer(&mut wedged);
+        let mut config = SimConfig::self_timed(constraint);
+        config.max_endpoint_firings = u64::MAX;
+        config.max_events = 60_000;
+        run_both(
+            &wedged,
+            &QuantumPlan::uniform(QuantumPolicy::Max),
+            &config,
+            &format!("chain-{len} strangled"),
+        );
+    }
+}
+
+#[test]
+fn wide_fork_join_battery_is_identical_across_engines() {
+    // Wide and deep fork/join DAGs: a 48-way fork makes single firings
+    // touch ~100 buffer states at once, the widest adjacency the flat
+    // CSR arrays see anywhere in the suite.
+    let spec = DagSpec {
+        rho_grid_subdivision: Some(1024),
+        ..DagSpec::default()
+    };
+    for (width, depth) in [(48usize, 2usize), (16, 4)] {
+        let (tg, constraint) = fork_join_of(51, width, depth, &spec).unwrap();
+        let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
+        let offset = conservative_offset(&tg, &analysis);
+        let mut sized = tg.clone();
+        analysis.apply(&mut sized);
+
+        for (name, plan) in scenario_plans(0xF02C ^ (width * depth) as u64) {
+            let mut config = SimConfig::periodic(constraint, offset);
+            config.max_endpoint_firings = 60;
+            config.trace = TraceLevel::All;
+            config.max_events = 60_000;
+            run_both(
+                &sized,
+                &plan,
+                &config,
+                &format!("fork-join w{width}-d{depth} periodic {name}"),
+            );
+
+            let mut config = SimConfig::self_timed(constraint);
+            config.max_endpoint_firings = 60;
+            config.trace = TraceLevel::All;
+            config.max_events = 60_000;
+            run_both(
+                &sized,
+                &plan,
+                &config,
+                &format!("fork-join w{width}-d{depth} self-timed {name}"),
+            );
+        }
+
+        let mut wedged = sized.clone();
+        strangle_mid_buffer(&mut wedged);
+        let mut config = SimConfig::self_timed(constraint);
+        config.max_endpoint_firings = u64::MAX;
+        config.max_events = 60_000;
+        run_both(
+            &wedged,
+            &QuantumPlan::uniform(QuantumPolicy::Max),
+            &config,
+            &format!("fork-join w{width}-d{depth} strangled"),
+        );
+    }
+}
+
+#[test]
+fn reused_plan_state_is_identical_to_fresh_engines() {
+    // The construct-once/reset-many lifecycle: one SimPlan and one
+    // SimState replayed across scenarios and capacity overrides must be
+    // indistinguishable from a fresh Simulator — and from the reference
+    // engine — on every run, in any order.
+    use vrdf_sim::SimPlan;
+
+    let spec = ChainSpec {
+        max_quantum: 2,
+        max_set_len: 2,
+        rho_grid_subdivision: Some(1024),
+        ..ChainSpec::default()
+    };
+    let (tg, constraint) = random_chain_of_length(7, 128, &spec).unwrap();
+    let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
+    let offset = conservative_offset(&tg, &analysis);
+    let mut sized = tg.clone();
+    analysis.apply(&mut sized);
+
+    let mut config = SimConfig::periodic(constraint, offset);
+    config.max_endpoint_firings = 30;
+    config.trace = TraceLevel::All;
+    config.max_events = 40_000;
+
+    let plan = SimPlan::new(&sized, config.clone()).unwrap();
+    let mut state = plan.state();
+    for (name, quanta) in scenario_plans(0x5EED) {
+        let reused = plan.run(&mut state, &quanta).unwrap();
+        let fresh = Simulator::new(&sized, quanta.clone(), config.clone())
+            .unwrap()
+            .run();
+        let reference = ReferenceSimulator::new(&sized, quanta.clone(), config.clone())
+            .unwrap()
+            .run();
+        assert_identical(&reused, &fresh, &format!("plan-reuse {name} vs fresh"));
+        assert_identical(
+            &reused,
+            &reference,
+            &format!("plan-reuse {name} vs reference"),
+        );
+    }
+
+    // Capacity overrides through the same state: probe a shrunken first
+    // buffer without touching the graph, then confirm a full-capacity
+    // run on the very same state is unaffected by the detour.
+    let (first, cap) = {
+        let (id, buffer) = sized.buffers().next().unwrap();
+        (id, buffer.capacity().unwrap())
+    };
+    assert!(cap > 1);
+    let quanta = QuantumPlan::uniform(QuantumPolicy::Max);
+    let overridden = plan
+        .run_with_capacities(&mut state, &quanta, &[(first, cap - 1)])
+        .unwrap();
+    let mut shrunk = sized.clone();
+    shrunk.set_capacity(first, cap - 1);
+    let fresh = Simulator::new(&shrunk, quanta.clone(), config.clone())
+        .unwrap()
+        .run();
+    assert_identical(&overridden, &fresh, "plan-reuse override vs fresh");
+
+    let replay = plan.run(&mut state, &quanta).unwrap();
+    let fresh = Simulator::new(&sized, quanta.clone(), config.clone())
+        .unwrap()
+        .run();
+    assert_identical(&replay, &fresh, "plan-reuse after override vs fresh");
 }
