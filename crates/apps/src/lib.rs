@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 use vrdf_core::{
     AnalysisError, QuantumSet, RateAssignment, Rational, TaskGraph, ThroughputConstraint,
@@ -30,6 +31,7 @@ pub const MP3_PUBLISHED_CAPACITIES: [u64; 3] = [6015, 3263, 882];
 /// let caps: Vec<u64> = analysis.capacities().iter().map(|c| c.capacity).collect();
 /// assert_eq!(caps, vrdf_apps::MP3_PUBLISHED_CAPACITIES);
 /// ```
+#[allow(clippy::unwrap_used, clippy::expect_used)] // fixed, doctest-covered constants
 pub fn mp3_chain() -> TaskGraph {
     TaskGraph::linear_chain(
         [
@@ -53,6 +55,7 @@ pub fn mp3_chain() -> TaskGraph {
 
 /// The MP3 chain's throughput constraint: the DAC fires strictly
 /// periodically at 44.1 kHz.
+#[allow(clippy::unwrap_used, clippy::expect_used)] // fixed, doctest-covered constants
 pub fn mp3_constraint() -> ThroughputConstraint {
     ThroughputConstraint::on_sink(Rational::new(1, 44_100)).expect("positive period")
 }
@@ -87,6 +90,7 @@ pub fn mp3_constraint() -> ThroughputConstraint {
 /// let analysis = compute_buffer_capacities(&tg, vrdf_apps::mp3_constraint()).unwrap();
 /// assert_eq!(analysis.capacities().len(), 6);
 /// ```
+#[allow(clippy::unwrap_used, clippy::expect_used)] // fixed, doctest-covered constants
 pub fn mp3_fork_join() -> TaskGraph {
     let mut tg = TaskGraph::new();
     let vbr = tg.add_task("vBR", Rational::new(512, 10_000)).unwrap();
@@ -172,6 +176,7 @@ pub fn case_study(name: &str) -> Option<CaseStudy> {
 
 /// The motivating producer–consumer pair of Fig. 1: `wa` produces 3
 /// containers per execution, `wb` consumes 2 or 3.
+#[allow(clippy::unwrap_used, clippy::expect_used)] // fixed, doctest-covered constants
 pub fn fig1_pair() -> TaskGraph {
     TaskGraph::linear_chain(
         [("wa", Rational::ONE), ("wb", Rational::ONE)],
@@ -341,17 +346,54 @@ pub mod synthetic {
         chain_of_length(&mut Rng::new(seed), len, spec)
     }
 
+    fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+        while b != 0 {
+            (a, b) = (b, a % b);
+        }
+        a.max(1)
+    }
+
+    /// Largest reduced numerator/denominator the running rate-ratio
+    /// product `Π π̌ᵢ/γ̂ᵢ` may reach during chain generation.  The φ walk
+    /// multiplies suffixes of this product into `τ`, so bounding the
+    /// prefix at `2^16` keeps every intermediate of the analysis (suffix
+    /// components ≤ `2^32`, Eq. 1–4 arithmetic a few small factors above
+    /// that) far inside `i128` at any chain length.
+    const RATIO_BOUND: u128 = 1 << 16;
+
     fn chain_of_length(
         rng: &mut Rng,
         n: usize,
         spec: &ChainSpec,
     ) -> Result<(TaskGraph, ThroughputConstraint), AnalysisError> {
         // Draw the quanta; production sets must not contain 0 in
-        // sink-constrained mode.
+        // sink-constrained mode.  Track the running reduced product of
+        // the per-hop rate ratios π̌/γ̂ (the factors the φ walk chains
+        // together): when admitting a hop would push either reduced
+        // component past RATIO_BOUND, the hop is neutralized — its
+        // consumption is pinned to the production minimum, making the
+        // ratio exactly 1 — so the rate random-walk can no longer
+        // overflow i128 on long chains.  Both sets are drawn before the
+        // check, so the RNG stream (and every graph that never trips the
+        // bound — in particular every chain of ≤ 5 hops, since a hop
+        // scales one component by at most max_quantum = 8) is unchanged.
         let mut buffers = Vec::with_capacity(n - 1);
+        let (mut ratio_num, mut ratio_den) = (1u128, 1u128);
         for i in 0..n - 1 {
             let production = random_set(rng, spec, false);
-            let consumption = random_set(rng, spec, spec.allow_zero_consumption);
+            let mut consumption = random_set(rng, spec, spec.allow_zero_consumption);
+            let c_max = consumption.max() as u128;
+            if c_max > 0 {
+                let num = ratio_num * production.min() as u128;
+                let den = ratio_den * c_max;
+                let g = gcd_u128(num, den);
+                let (num, den) = (num / g, den / g);
+                if num > RATIO_BOUND || den > RATIO_BOUND {
+                    consumption = QuantumSet::constant(production.min());
+                } else {
+                    (ratio_num, ratio_den) = (num, den);
+                }
+            }
             buffers.push((format!("b{i}"), production, consumption));
         }
         let tau = Rational::new(rng.range(1, 12) as i128, rng.range(1, 4) as i128);
@@ -780,6 +822,25 @@ mod tests {
             let (tg, constraint) = synthetic::random_chain_of_length(9, len, &spec).unwrap();
             assert_eq!(tg.task_count(), len);
             assert!(compute_buffer_capacities(&tg, constraint).is_ok());
+        }
+    }
+
+    #[test]
+    fn default_spec_chains_analyse_at_256_tasks() {
+        // Regression: the rate random-walk used to overflow i128 at
+        // >= 128 tasks under the default spec (unbounded denominator
+        // growth along the phi propagation); the generation-time ratio
+        // bound keeps arbitrary lengths analysable.
+        let spec = synthetic::ChainSpec::default();
+        for len in [128, 256] {
+            let (tg, constraint) = synthetic::random_chain_of_length(97, len, &spec).unwrap();
+            assert_eq!(tg.task_count(), len);
+            let analysis = compute_buffer_capacities(&tg, constraint);
+            assert!(
+                analysis.is_ok(),
+                "len {len} failed to analyse: {:?}",
+                analysis.err()
+            );
         }
     }
 

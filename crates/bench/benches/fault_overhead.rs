@@ -1,0 +1,97 @@
+//! Cost of the fault-injection hooks on the MP3 chain: the uninjected
+//! tick engine against the same engine constructed with an **empty**
+//! [`FaultPlan`] (hooks compiled in, gated on `faults.is_empty()`), and
+//! against a plan that actually strikes (one 5 ms `vSRC` stall).
+//!
+//! `tests/faults.rs` proves the empty-plan run is bit-identical to the
+//! plain one; this bench pins that the identity is also nearly free —
+//! `overhead_vs_plain` is the ratio a regression in the hot-path gating
+//! would move.
+//!
+//! ```console
+//! $ cargo bench -p vrdf-bench --bench fault_overhead
+//! ```
+
+use vrdf_apps::{mp3_chain, mp3_constraint};
+use vrdf_bench::{emit, emit_summary, time_per_iteration, BenchOpts};
+use vrdf_core::{compute_buffer_capacities, Rational};
+use vrdf_sim::{conservative_offset, FaultPlan, QuantumPlan, QuantumPolicy, SimConfig, Simulator};
+
+fn main() {
+    let opts = BenchOpts::from_args(3, 15);
+    let tg = mp3_chain();
+    let constraint = mp3_constraint();
+    let analysis = compute_buffer_capacities(&tg, constraint).expect("MP3 chain is feasible");
+    let offset = conservative_offset(&tg, &analysis).expect("offset fits");
+    let mut sized = tg.clone();
+    analysis.apply(&mut sized);
+    // One second of audio (44 100 DAC firings) per iteration; 1/100th
+    // under --smoke.
+    let firings = opts.scale(44_100, 441);
+    let plan = || QuantumPlan::uniform(QuantumPolicy::Max);
+    let config = {
+        let mut c = SimConfig::periodic(constraint, offset);
+        c.max_endpoint_firings = firings;
+        c
+    };
+    let empty = FaultPlan::new();
+    let stall = FaultPlan::new().stall("vSRC", 10, 1, Rational::new(5, 1000));
+
+    let probe = Simulator::new(&sized, plan(), config.clone())
+        .expect("construction succeeds")
+        .run();
+    let events = probe.events_processed as f64;
+
+    let plain = time_per_iteration(opts.warmup, opts.iterations, || {
+        let report = Simulator::new(&sized, plan(), config.clone())
+            .expect("construction succeeds")
+            .run();
+        std::hint::black_box(report.events_processed);
+    });
+    let zero_fault = time_per_iteration(opts.warmup, opts.iterations, || {
+        let report = Simulator::with_faults(&sized, plan(), config.clone(), &empty)
+            .expect("construction succeeds")
+            .run();
+        std::hint::black_box(report.events_processed);
+    });
+    let stalled = time_per_iteration(opts.warmup, opts.iterations, || {
+        let report = Simulator::with_faults(&sized, plan(), config.clone(), &stall)
+            .expect("construction succeeds")
+            .run();
+        std::hint::black_box((report.events_processed, report.faults_injected));
+    });
+
+    let plain_eps = events / plain.median().as_secs_f64();
+    emit(
+        "fault_overhead",
+        "plain",
+        &plain,
+        &[("events", events), ("events_per_sec", plain_eps)],
+    );
+    for (case, m) in [
+        ("zero-fault-plan", &zero_fault),
+        ("stalling-plan", &stalled),
+    ] {
+        emit(
+            "fault_overhead",
+            case,
+            m,
+            &[
+                ("events", events),
+                ("events_per_sec", events / m.median().as_secs_f64()),
+                (
+                    "overhead_vs_plain",
+                    m.median().as_secs_f64() / plain.median().as_secs_f64(),
+                ),
+            ],
+        );
+    }
+    emit_summary(
+        "fault_overhead",
+        "gating",
+        &[(
+            "zero_fault_overhead_vs_plain",
+            zero_fault.median().as_secs_f64() / plain.median().as_secs_f64(),
+        )],
+    );
+}

@@ -18,7 +18,7 @@ fn main() {
     let tg = fig1_pair();
     let constraint = ThroughputConstraint::on_sink(Rational::from(3u64)).expect("positive period");
     let analysis = compute_buffer_capacities(&tg, constraint).expect("pair is feasible");
-    let offset = conservative_offset(&tg, &analysis);
+    let offset = conservative_offset(&tg, &analysis).expect("offset fits");
     let mut sized = tg.clone();
     analysis.apply(&mut sized);
     let firings = opts.scale(20_000, 200);

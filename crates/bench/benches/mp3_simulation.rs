@@ -23,7 +23,7 @@ fn main() {
     let tg = mp3_chain();
     let constraint = mp3_constraint();
     let analysis = compute_buffer_capacities(&tg, constraint).expect("MP3 chain is feasible");
-    let offset = conservative_offset(&tg, &analysis);
+    let offset = conservative_offset(&tg, &analysis).expect("offset fits");
     let mut sized = tg.clone();
     analysis.apply(&mut sized);
     // One second of audio (44 100 DAC firings) per iteration; 1/100th

@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 use std::time::{Duration, Instant};
 
@@ -102,6 +103,8 @@ impl Measurement {
 
     /// The slowest sample.
     pub fn max(&self) -> Duration {
+        // `measure` always records ≥ 1 iteration.
+        #[allow(clippy::expect_used)]
         *self.sorted.last().expect("non-empty")
     }
 }

@@ -189,6 +189,39 @@ impl PairGaps {
         floored as u64
     }
 
+    /// As [`PairGaps::producer_gap`], with `i128` overflow surfaced as
+    /// `None` instead of a panic.
+    pub fn checked_producer_gap(&self) -> Option<Rational> {
+        self.token_period
+            .checked_mul(Rational::from(self.producer_max_quantum - 1))
+            .and_then(|t| self.producer_response.checked_add(t))
+    }
+
+    /// As [`PairGaps::consumer_gap`], with `i128` overflow surfaced as
+    /// `None` instead of a panic.
+    pub fn checked_consumer_gap(&self) -> Option<Rational> {
+        self.token_period
+            .checked_mul(Rational::from(self.consumer_max_quantum - 1))
+            .and_then(|t| self.consumer_response.checked_add(t))
+    }
+
+    /// As [`PairGaps::total_gap`], with `i128` overflow surfaced as
+    /// `None` instead of a panic.
+    pub fn checked_total_gap(&self) -> Option<Rational> {
+        self.checked_producer_gap()?
+            .checked_add(self.checked_consumer_gap()?)
+    }
+
+    /// As [`PairGaps::sufficient_initial_tokens`], with `i128`/`u64`
+    /// overflow surfaced as `None` instead of a panic.
+    pub fn checked_sufficient_initial_tokens(&self) -> Option<u64> {
+        let tokens = self
+            .checked_total_gap()?
+            .checked_div(self.token_period)?
+            .checked_add(Rational::ONE)?;
+        u64::try_from(tokens.floor()).ok()
+    }
+
     /// The pair of bounds on the **forward** (data) edge, anchored so the
     /// producer's first firing starts at time zero: `α̂p(e_ab)` has token 1
     /// at `ρ(v_a)`, and `α̌c(e_ab)` sits `consumer_gap` below the space

@@ -363,14 +363,23 @@ fn assemble(
             buffer.production().max(),
             buffer.consumption().max(),
         );
+        let overflow = |context: &'static str| AnalysisError::ArithmeticOverflow { context };
         capacities.push(BufferCapacity {
             buffer: pair.buffer,
             name: buffer.name().to_owned(),
-            capacity: gaps.sufficient_initial_tokens(),
+            capacity: gaps
+                .checked_sufficient_initial_tokens()
+                .ok_or_else(|| overflow("the Eq. 4 capacity"))?,
             token_period: gaps.token_period(),
-            producer_gap: gaps.producer_gap(),
-            consumer_gap: gaps.consumer_gap(),
-            total_gap: gaps.total_gap(),
+            producer_gap: gaps
+                .checked_producer_gap()
+                .ok_or_else(|| overflow("the producer bound distance (Eq. 1)"))?,
+            consumer_gap: gaps
+                .checked_consumer_gap()
+                .ok_or_else(|| overflow("the consumer bound distance (Eq. 2)"))?,
+            total_gap: gaps
+                .checked_total_gap()
+                .ok_or_else(|| overflow("the reverse-edge bound distance (Eq. 3)"))?,
             producer_phi: pair.producer_phi,
             consumer_phi: pair.consumer_phi,
             producer_max_quantum: buffer.production().max(),

@@ -91,6 +91,14 @@ pub enum AnalysisError {
         /// The buffer whose edge pair is malformed.
         buffer: String,
     },
+    /// An intermediate of the exact rational analysis overflowed `i128`
+    /// (e.g. response-time denominators compounding along the `φ`
+    /// propagation of a very long chain).  The input is structurally
+    /// valid but numerically out of range for the exact arithmetic.
+    ArithmeticOverflow {
+        /// What was being computed when the overflow occurred.
+        context: &'static str,
+    },
 }
 
 impl fmt::Display for AnalysisError {
@@ -146,6 +154,10 @@ impl fmt::Display for AnalysisError {
                 f,
                 "edge pair modelling buffer `{buffer}` is inconsistent: reverse-edge quanta must mirror forward-edge quanta"
             ),
+            AnalysisError::ArithmeticOverflow { context } => write!(
+                f,
+                "exact rational arithmetic overflowed i128 while computing {context}"
+            ),
         }
     }
 }
@@ -193,6 +205,9 @@ mod tests {
                 bound: Rational::ZERO,
             },
             AnalysisError::InconsistentBufferModel { buffer: "b".into() },
+            AnalysisError::ArithmeticOverflow {
+                context: "phi propagation",
+            },
         ];
         for e in errors {
             let msg = e.to_string();

@@ -60,7 +60,7 @@ impl QuantumSet {
         if values.is_empty() {
             return Err(AnalysisError::EmptyQuantumSet);
         }
-        if *values.last().expect("non-empty") == 0 {
+        if values.last() == Some(&0) {
             return Err(AnalysisError::ZeroOnlyQuantumSet);
         }
         Ok(QuantumSet { values })
@@ -104,6 +104,8 @@ impl QuantumSet {
     /// Maximum quantum, `π̂` / `γ̂` in the paper.  Always ≥ 1.
     #[inline]
     pub fn max(&self) -> u64 {
+        // Sets are non-empty by construction (`new` rejects empties).
+        #[allow(clippy::expect_used)]
         *self.values.last().expect("quantum sets are non-empty")
     }
 

@@ -39,6 +39,26 @@ use crate::error::AnalysisError;
 use crate::rational::Rational;
 use crate::taskgraph::{BufferId, ChainView, DagView, TaskGraph, TaskId};
 
+/// `phi / quantum * quantum` with overflow surfaced as a typed error —
+/// the single step both rate walks chain along the graph.
+fn propagate(
+    phi: Rational,
+    divide_by: u64,
+    multiply_by: u64,
+) -> Result<(Rational, Rational), AnalysisError> {
+    let token_period =
+        phi.checked_div(Rational::from(divide_by))
+            .ok_or(AnalysisError::ArithmeticOverflow {
+                context: "the pair token period of the rate walk",
+            })?;
+    let next_phi = token_period
+        .checked_mul(Rational::from(multiply_by))
+        .ok_or(AnalysisError::ArithmeticOverflow {
+            context: "phi propagation of the rate walk",
+        })?;
+    Ok((token_period, next_phi))
+}
+
 /// Which endpoint of the chain carries the throughput constraint.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum ConstraintLocation {
@@ -196,9 +216,11 @@ impl RateAssignment {
                         });
                     }
                     let consumer_phi = phi[pos(i + 1)];
-                    let c_max = Rational::from(buffer.consumption().max());
-                    let token_period = consumer_phi / c_max;
-                    let producer_phi = token_period * Rational::from(buffer.production().min());
+                    let (token_period, producer_phi) = propagate(
+                        consumer_phi,
+                        buffer.consumption().max(),
+                        buffer.production().min(),
+                    )?;
                     phi[pos(i)] = producer_phi;
                     pairs.push(PairTiming {
                         buffer: buffer_id,
@@ -222,9 +244,11 @@ impl RateAssignment {
                         });
                     }
                     let producer_phi = phi[pos(i)];
-                    let p_max = Rational::from(buffer.production().max());
-                    let token_period = producer_phi / p_max;
-                    let consumer_phi = token_period * Rational::from(buffer.consumption().min());
+                    let (token_period, consumer_phi) = propagate(
+                        producer_phi,
+                        buffer.production().max(),
+                        buffer.consumption().min(),
+                    )?;
                     phi[pos(i + 1)] = consumer_phi;
                     pairs.push(PairTiming {
                         buffer: buffer_id,
@@ -283,12 +307,20 @@ impl RateAssignment {
                             });
                         }
                         let consumer_phi = phi[buffer.consumer().index()];
-                        let candidate = consumer_phi / Rational::from(buffer.consumption().max())
-                            * Rational::from(buffer.production().min());
+                        let (_, candidate) = propagate(
+                            consumer_phi,
+                            buffer.consumption().max(),
+                            buffer.production().min(),
+                        )?;
                         binding = Some(binding.map_or(candidate, |b| b.min(candidate)));
                     }
-                    phi[task.index()] =
-                        binding.expect("every non-sink task of a single-sink DAG has an output");
+                    // Non-sink in a single-sink DAG ⇒ ≥ 1 output, so
+                    // the fold above always binds.
+                    #[allow(clippy::expect_used)]
+                    {
+                        phi[task.index()] = binding
+                            .expect("every non-sink task of a single-sink DAG has an output");
+                    }
                 }
             }
             ConstraintLocation::Source => {
@@ -308,12 +340,20 @@ impl RateAssignment {
                             });
                         }
                         let producer_phi = phi[buffer.producer().index()];
-                        let candidate = producer_phi / Rational::from(buffer.production().max())
-                            * Rational::from(buffer.consumption().min());
+                        let (_, candidate) = propagate(
+                            producer_phi,
+                            buffer.production().max(),
+                            buffer.consumption().min(),
+                        )?;
                         binding = Some(binding.map_or(candidate, |b| b.min(candidate)));
                     }
-                    phi[task.index()] =
-                        binding.expect("every non-source task of a single-source DAG has an input");
+                    // Non-source in a single-source DAG ⇒ ≥ 1 input,
+                    // so the fold above always binds.
+                    #[allow(clippy::expect_used)]
+                    {
+                        phi[task.index()] = binding
+                            .expect("every non-source task of a single-source DAG has an input");
+                    }
                 }
             }
         }
@@ -325,15 +365,21 @@ impl RateAssignment {
             let buffer = tg.buffer(buffer_id);
             let producer_phi = phi[buffer.producer().index()];
             let consumer_phi = phi[buffer.consumer().index()];
+            let rate = |phi: Rational, quantum: u64| {
+                phi.checked_div(Rational::from(quantum))
+                    .ok_or(AnalysisError::ArithmeticOverflow {
+                        context: "the pair token period of the rate walk",
+                    })
+            };
             let token_period = match constraint.location {
                 ConstraintLocation::Sink => {
-                    let demand = consumer_phi / Rational::from(buffer.consumption().max());
-                    let cadence = producer_phi / Rational::from(buffer.production().min().max(1));
+                    let demand = rate(consumer_phi, buffer.consumption().max())?;
+                    let cadence = rate(producer_phi, buffer.production().min().max(1))?;
                     demand.min(cadence)
                 }
                 ConstraintLocation::Source => {
-                    let cadence = producer_phi / Rational::from(buffer.production().max());
-                    let demand = consumer_phi / Rational::from(buffer.consumption().min().max(1));
+                    let cadence = rate(producer_phi, buffer.production().max())?;
+                    let demand = rate(consumer_phi, buffer.consumption().min().max(1))?;
                     cadence.min(demand)
                 }
             };

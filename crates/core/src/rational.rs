@@ -442,6 +442,9 @@ impl Div for Rational {
     #[inline]
     fn div(self, rhs: Rational) -> Rational {
         assert!(!rhs.is_zero(), "rational division by zero");
+        // Operator impls cannot return `Result`; overflow here is a
+        // documented panic — fallible paths must use `checked_div`.
+        #[allow(clippy::expect_used)]
         self.checked_div(rhs)
             .expect("rational division overflowed i128")
     }

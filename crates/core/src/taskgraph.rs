@@ -387,6 +387,9 @@ impl TaskGraph {
                 let consumer = self.buffers[b.0].consumer.0;
                 indegree[consumer] -= 1;
                 if indegree[consumer] == 0 {
+                    // `consumer` just reached indegree 0, so it
+                    // cannot already sit in `ready`: Err is guaranteed.
+                    #[allow(clippy::unwrap_used)]
                     let at = ready
                         .binary_search_by(|probe| consumer.cmp(probe))
                         .unwrap_err();
@@ -395,6 +398,9 @@ impl TaskGraph {
             }
         }
         if topo.len() != self.tasks.len() {
+            // An incomplete topological order leaves at least one
+            // task with pending inputs.
+            #[allow(clippy::expect_used)]
             let stuck = (0..self.tasks.len())
                 .find(|&t| indegree[t] > 0)
                 .expect("an unvisited task has pending inputs");
@@ -606,6 +612,8 @@ impl ChainView {
     /// The sink task (no output buffers).
     #[inline]
     pub fn sink(&self) -> TaskId {
+        // `chain()` rejects empty graphs before building a view.
+        #[allow(clippy::expect_used)]
         *self.tasks.last().expect("chains are non-empty")
     }
 

@@ -161,11 +161,15 @@ impl CsdfChannel {
 
     /// The largest per-phase production quantum.
     pub fn max_production(&self) -> u64 {
+        // Channel constructors reject empty phase vectors.
+        #[allow(clippy::expect_used)]
         *self.production.iter().max().expect("phases are non-empty")
     }
 
     /// The largest per-phase consumption quantum.
     pub fn max_consumption(&self) -> u64 {
+        // Channel constructors reject empty phase vectors.
+        #[allow(clippy::expect_used)]
         *self.consumption.iter().max().expect("phases are non-empty")
     }
 
@@ -410,6 +414,9 @@ impl CsdfGraph {
     /// what the state-space executor runs; the *conservative* sizing of a
     /// genuinely variable graph additionally charges each quantum set's
     /// spread — see [`baseline_capacities`](crate::baseline_capacities).
+    // Re-registering names and quanta from an already-validated
+    // `TaskGraph` cannot fail.
+    #[allow(clippy::expect_used)]
     pub fn lower_constant_max(tg: &TaskGraph) -> CsdfGraph {
         let mut g = CsdfGraph::new();
         for (_, task) in tg.tasks() {
@@ -575,6 +582,9 @@ pub(crate) struct ChannelRates<'a> {
 /// Solves `r(a)·production(c) = r(b)·consumption(c)` for the smallest
 /// positive integer `r`, assuming the graph over `actors` is weakly
 /// connected.
+// Weak connectivity (checked by the caller) guarantees the factor
+// propagation reaches every actor, so each `factor[i]` is `Some`.
+#[allow(clippy::expect_used)]
 pub(crate) fn solve_balance(
     actors: usize,
     channels: &[ChannelRates<'_>],

@@ -334,6 +334,8 @@ impl<'a> Executor<'a> {
                     events: self.events,
                 });
             }
+            // The surrounding loop peeked this entry.
+            #[allow(clippy::expect_used)]
             let Reverse((_, _, a)) = self.heap.pop().expect("peeked");
             self.events += 1;
             self.apply_finish(a);

@@ -84,6 +84,7 @@ use vrdf_core::{
     ThroughputConstraint,
 };
 
+use crate::faults::{CompiledFaults, FaultPlan};
 use crate::policy::{CompiledQuantum, QuantumPlan, Side};
 use crate::SimError;
 
@@ -341,6 +342,20 @@ pub struct SimReport {
     pub events_processed: u64,
     /// Time of the last processed event.
     pub end_time: Rational,
+    /// Fault perturbations that actually struck the run: stalled or
+    /// retried firings plus delayed releases.  Zero without a
+    /// [`crate::FaultPlan`].
+    pub faults_injected: u64,
+    /// The first instant a fault perturbed the run — the start of the
+    /// first stalled firing or the nominal instant of the first delayed
+    /// release.  `None` when no fault struck; violations before this
+    /// instant cannot be blamed on the fault.
+    pub first_fault_time: Option<Rational>,
+    /// The last instant a fault perturbed the run — the finish of the
+    /// last stalled firing or the issuance of the last delayed release.
+    /// `None` when no fault struck; recovery windows are measured from
+    /// here.
+    pub last_fault_time: Option<Rational>,
 }
 
 impl SimReport {
@@ -513,6 +528,8 @@ impl EventQueue {
         let b = (now as usize) & self.mask;
         let wheel_node = self.head[b];
         let overflow_due = matches!(self.overflow.peek(), Some(e) if e.time == now);
+        // Both "peeked" expects below are guarded by `overflow_due`.
+        #[allow(clippy::expect_used)]
         let take_wheel = if wheel_node != NO_NODE {
             // Tie at the same tick: FIFO across both structures.
             !overflow_due
@@ -535,6 +552,7 @@ impl EventQueue {
             }
             Some(wheel_node)
         } else {
+            #[allow(clippy::expect_used)]
             Some(self.overflow.pop().expect("peeked").node)
         }
     }
@@ -679,6 +697,11 @@ pub struct SimPlan<'a> {
     /// Largest steady-state event delta (max response time, period) — the
     /// sizing hint for the [`EventQueue`] timing wheel.
     wheel_hint: i128,
+    /// Bounded fault perturbations, compiled onto this plan's tick clock.
+    /// Empty for fault-free plans; every hot-path hook is gated on the
+    /// emptiness check so [`SimPlan::new`] stays bit-identical to the
+    /// pre-fault engine.
+    faults: CompiledFaults,
 }
 
 impl<'a> SimPlan<'a> {
@@ -697,6 +720,34 @@ impl<'a> SimPlan<'a> {
     /// * [`SimError::TickOverflow`] — the run's times cannot be rescaled
     ///   to a shared integer tick clock within `u64` ticks.
     pub fn new(tg: &'a TaskGraph, config: SimConfig) -> Result<SimPlan<'a>, SimError> {
+        Self::build(tg, config, None)
+    }
+
+    /// Like [`SimPlan::new`], but every run of the plan replays the given
+    /// bounded [`FaultPlan`]: transient stalls and drop-retries inflate
+    /// the affected firings' response times, release jitter delays the
+    /// endpoint's periodic releases.  An empty plan is bit-identical to
+    /// [`SimPlan::new`].
+    ///
+    /// # Errors
+    ///
+    /// As [`SimPlan::new`], plus [`SimError::InvalidFault`] for negative
+    /// fault durations and [`SimError::Analysis`] /
+    /// [`SimError::TickOverflow`] for unknown task names or fault times
+    /// that do not fit the tick clock.
+    pub fn with_faults(
+        tg: &'a TaskGraph,
+        config: SimConfig,
+        faults: &FaultPlan,
+    ) -> Result<SimPlan<'a>, SimError> {
+        Self::build(tg, config, Some(faults))
+    }
+
+    fn build(
+        tg: &'a TaskGraph,
+        config: SimConfig,
+        fault_plan: Option<&FaultPlan>,
+    ) -> Result<SimPlan<'a>, SimError> {
         let dag = tg.dag().map_err(SimError::Analysis)?;
 
         // One shared tick denominator for every time in the run.
@@ -721,6 +772,11 @@ impl<'a> SimPlan<'a> {
             }
             for &tid in dag.tasks() {
                 fold(tg.task(tid).response_time(), tg.task(tid).name())?;
+            }
+            if let Some(faults) = fault_plan {
+                for value in faults.time_values() {
+                    fold(value, "fault")?;
+                }
             }
         }
         let to_ticks = |r: Rational, what: &str| -> Result<i128, SimError> {
@@ -797,6 +853,10 @@ impl<'a> SimPlan<'a> {
             .transpose()?;
         let immediate_free = config.release == ConstrainedRelease::Immediate;
         let wheel_hint = rho.iter().copied().max().unwrap_or(0).max(period);
+        let faults = match fault_plan {
+            Some(plan) if !plan.is_empty() => plan.compile(tg, &task_pos, &rho, tick_den)?,
+            _ => CompiledFaults::default(),
+        };
 
         Ok(SimPlan {
             tg,
@@ -819,7 +879,19 @@ impl<'a> SimPlan<'a> {
             default_capacity,
             buf_pos,
             wheel_hint,
+            faults,
         })
+    }
+
+    /// Ticks release `r` is issued late under the plan's faults; zero on
+    /// the fault-free fast path.
+    #[inline]
+    fn release_delay(&self, r: u64) -> i128 {
+        if self.faults.is_empty() {
+            0
+        } else {
+            self.faults.release_delay(r)
+        }
     }
 
     /// The graph the plan was built over.
@@ -952,6 +1024,12 @@ pub struct SimState {
     last_start: Option<i128>,
     max_drift: Option<i128>,
     max_lateness: Option<i128>,
+    /// Fault perturbations that actually struck this run.
+    faults_injected: u64,
+    /// First instant a fault perturbed the run, in ticks.
+    first_fault: Option<i128>,
+    /// Last instant a fault perturbed the run, in ticks.
+    last_fault: Option<i128>,
 }
 
 impl SimState {
@@ -989,6 +1067,9 @@ impl SimState {
             last_start: None,
             max_drift: None,
             max_lateness: None,
+            faults_injected: 0,
+            first_fault: None,
+            last_fault: None,
         }
     }
 
@@ -1071,7 +1152,11 @@ impl SimState {
         self.dirty.fill(!0u64);
         let tail = nt & 63;
         if tail != 0 {
-            *self.dirty.last_mut().expect("nt > 0") = (1u64 << tail) - 1;
+            // `tail != 0` implies at least one word exists.
+            #[allow(clippy::expect_used)]
+            {
+                *self.dirty.last_mut().expect("nt > 0") = (1u64 << tail) - 1;
+            }
         }
 
         // The clock starts at 0 and thereafter only moves to pending
@@ -1094,11 +1179,17 @@ impl SimState {
         self.last_start = None;
         self.max_drift = None;
         self.max_lateness = None;
+        self.faults_injected = 0;
+        self.first_fault = None;
+        self.last_fault = None;
 
         if let Some(offset) = plan.offset {
             if plan.config.max_endpoint_firings > 0 {
                 self.seq += 1;
-                self.queue.push(self.now, offset, self.seq, nt as u32);
+                // Release jitter shifts the initial release too; zero on
+                // the fault-free fast path.
+                let release = offset + plan.release_delay(0);
+                self.queue.push(self.now, release, self.seq, nt as u32);
             }
         }
         Ok(())
@@ -1228,10 +1319,22 @@ impl Exec<'_, '_> {
         }
         let start = self.st.now;
         let rho = plan.rho[pos];
-        let finish = start + rho;
+        // Stall / drop-retry faults inflate this firing's response time;
+        // zero (and branch-predictable) on the fault-free fast path.
+        let extra = if plan.faults.is_empty() {
+            0
+        } else {
+            plan.faults.task_extra(pos as u32, k)
+        };
+        let finish = start + rho + extra;
+        if extra != 0 {
+            self.st.faults_injected += 1;
+            self.st.first_fault = Some(self.st.first_fault.map_or(start, |t| t.min(start)));
+            self.st.last_fault = Some(self.st.last_fault.map_or(finish, |t| t.max(finish)));
+        }
         self.st.busy[pos] = true;
         self.st.started[pos] = k + 1;
-        self.st.busy_ticks[pos] += rho;
+        self.st.busy_ticks[pos] += rho + extra;
         self.push(finish, pos as u32);
 
         if pos == plan.endpoint {
@@ -1243,7 +1346,10 @@ impl Exec<'_, '_> {
                     self.st.max_drift = Some(self.st.max_drift.map_or(drift, |d| d.max(drift)));
                 }
                 Some(offset) => {
-                    let lateness = start - (offset + k as i128 * plan.period);
+                    // A jittered release shifts the firing's deadline
+                    // with it.
+                    let lateness =
+                        start - (offset + k as i128 * plan.period + plan.release_delay(k));
                     self.st.max_lateness =
                         Some(self.st.max_lateness.map_or(lateness, |d| d.max(lateness)));
                 }
@@ -1349,10 +1455,39 @@ impl Exec<'_, '_> {
             };
             self.st.events_processed += 1;
             if node == release_node {
+                let issued = self.st.releases_issued;
                 self.st.releases_issued += 1;
                 self.mark_dirty(self.plan.endpoint);
+                if !self.plan.faults.is_empty() && self.plan.faults.release_delay(issued) != 0 {
+                    // This release was issued late: the deviation starts
+                    // at its nominal anchor and lasts until issuance.
+                    self.st.faults_injected += 1;
+                    let nominal = self.plan.offset.unwrap_or(0) + issued as i128 * self.plan.period;
+                    self.st.first_fault =
+                        Some(self.st.first_fault.map_or(nominal, |t| t.min(nominal)));
+                    self.st.last_fault = Some(
+                        self.st
+                            .last_fault
+                            .map_or(self.st.now, |t| t.max(self.st.now)),
+                    );
+                }
                 if self.st.releases_issued < self.plan.config.max_endpoint_firings {
-                    self.push(self.st.now + self.plan.period, release_node);
+                    if self.plan.faults.is_empty() {
+                        self.push(self.st.now + self.plan.period, release_node);
+                    } else {
+                        // Each release keeps its nominal anchor `offset +
+                        // r·τ` plus its own jitter, so one delayed
+                        // release does not drag the whole tail — but a
+                        // delay long enough to overlap the next nominal
+                        // release must not schedule it in the past.
+                        let next = self.st.releases_issued;
+                        let offset = self.plan.offset.unwrap_or(0);
+                        let at = (offset
+                            + next as i128 * self.plan.period
+                            + self.plan.faults.release_delay(next))
+                        .max(self.st.now);
+                        self.push(at, release_node);
+                    }
                 }
             } else {
                 self.apply_finish(node as usize);
@@ -1368,7 +1503,8 @@ impl Exec<'_, '_> {
             let endpoint = self.plan.endpoint;
             let started = self.st.started[endpoint];
             for firing in started..self.st.releases_issued {
-                let release = offset + firing as i128 * self.plan.period;
+                let release =
+                    offset + firing as i128 * self.plan.period + self.plan.release_delay(firing);
                 if release < self.st.now {
                     // Already reported when its instant settled.
                     continue;
@@ -1491,6 +1627,9 @@ impl Exec<'_, '_> {
             trace,
             events_processed: self.st.events_processed,
             end_time,
+            faults_injected: self.st.faults_injected,
+            first_fault_time: self.st.first_fault.map(|t| self.rational(t)),
+            last_fault_time: self.st.last_fault.map(|t| self.rational(t)),
         }
     }
 }
@@ -1560,8 +1699,35 @@ impl<'a> Simulator<'a> {
         })
     }
 
+    /// Like [`Simulator::new`], but every run replays the given bounded
+    /// [`FaultPlan`] (see [`SimPlan::with_faults`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::new`], plus [`SimError::InvalidFault`] for
+    /// negative fault durations and [`SimError::Analysis`] for unknown
+    /// task names in the fault plan.
+    pub fn with_faults(
+        tg: &'a TaskGraph,
+        plan: QuantumPlan,
+        config: SimConfig,
+        faults: &FaultPlan,
+    ) -> Result<Simulator<'a>, SimError> {
+        let sim_plan = SimPlan::with_faults(tg, config, faults)?;
+        plan.validate(tg)?;
+        sim_plan.require_capacities()?;
+        let state = sim_plan.state();
+        Ok(Simulator {
+            plan: sim_plan,
+            state,
+            quanta: plan,
+        })
+    }
+
     /// Runs the simulation to completion and returns the report.
     pub fn run(mut self) -> SimReport {
+        // `new`/`with_faults` validated the plan and capacities.
+        #[allow(clippy::expect_used)]
         self.plan
             .run(&mut self.state, &self.quanta)
             .expect("quantum plan and capacities validated at construction")

@@ -26,6 +26,11 @@
 //! * [`search`] — [`minimize_capacities`], a minimal-capacity search
 //!   driver on top of the oracle: per-edge binary search plus coordinate
 //!   descent measuring how far Eq. (4) sits above the operational minima.
+//! * [`faults`] — bounded fault injection (transient stalls, dropped
+//!   firings with retry, release jitter) and
+//!   [`validate_capacities_under_faults`], which replays the scenario
+//!   battery under a [`FaultPlan`] and grades whether strict periodicity
+//!   recovers within a bounded window.
 //!
 //! ## Quick start
 //!
@@ -52,8 +57,10 @@
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod engine;
+pub mod faults;
 pub mod policy;
 pub mod reference;
 pub mod search;
@@ -63,12 +70,20 @@ pub use engine::{
     BlockReason, BufferStats, EndpointBehavior, EndpointStats, FiringRecord, SimConfig, SimOutcome,
     SimPlan, SimReport, SimState, Simulator, TaskStats, TraceLevel, Violation,
 };
+pub use faults::{
+    validate_assigned_capacities_under_faults, validate_capacities_under_faults, FaultKind,
+    FaultPlan, FaultScenarioResult, FaultValidationOptions, FaultValidationReport, RecoveryVerdict,
+    ReleaseFault, TaskFault,
+};
 pub use policy::{splitmix64, CompiledQuantum, QuantumPlan, QuantumPolicy, Side};
 pub use reference::ReferenceSimulator;
-pub use search::{minimize_capacities, EdgeMinimum, MinimizationReport, SearchOptions};
+pub use search::{
+    minimize_capacities, EdgeMinimum, MinimizationReport, SearchBudget, SearchOptions,
+};
 pub use validate::{
     conservative_offset, measure_drift, validate_assigned_capacities, validate_capacities,
-    OccupancyBreach, ScenarioResult, ScenarioRunner, ValidationOptions, ValidationReport,
+    EngineKind, OccupancyBreach, ScenarioResult, ScenarioRunner, ValidationOptions,
+    ValidationReport, WorkerPanic,
 };
 
 use std::fmt;
@@ -110,6 +125,13 @@ pub enum SimError {
         /// `"offset"`, or `"max_time"`).
         quantity: String,
     },
+    /// A [`FaultPlan`] is malformed: a negative stall delta or release
+    /// delay.  (Unknown task names surface as [`SimError::Analysis`] with
+    /// [`vrdf_core::AnalysisError::UnknownName`].)
+    InvalidFault {
+        /// Human-readable description of the defect.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -136,6 +158,9 @@ impl fmt::Display for SimError {
                     f,
                     "rescaling `{quantity}` to the integer tick clock would overflow u64 ticks"
                 )
+            }
+            SimError::InvalidFault { detail } => {
+                write!(f, "invalid fault plan: {detail}")
             }
         }
     }

@@ -406,6 +406,8 @@ impl<'a> ReferenceSimulator<'a> {
                 self.budget_exhausted = true;
                 break;
             }
+            // The surrounding loop peeked this entry.
+            #[allow(clippy::expect_used)]
             let event = self.heap.pop().expect("peeked");
             self.events_processed += 1;
             any = true;
@@ -485,6 +487,11 @@ impl<'a> ReferenceSimulator<'a> {
             trace: self.trace,
             events_processed: self.events_processed,
             end_time: self.now,
+            // The reference engine cannot inject faults; it only ever
+            // runs fault-free plans (the degraded tick-overflow path).
+            faults_injected: 0,
+            first_fault_time: None,
+            last_fault_time: None,
         }
     }
 

@@ -29,11 +29,34 @@
 //! [`ValidationReport`](crate::validate::ValidationReport) is.
 
 use std::fmt;
+use std::time::{Duration, Instant};
 
 use vrdf_core::{BufferId, GraphAnalysis, Rational, TaskGraph};
 
 use crate::validate::{conservative_offset, ScenarioRunner, ValidationOptions};
 use crate::SimError;
+
+/// A watchdog budget for [`minimize_capacities`]: the search stops
+/// cleanly when either bound trips and returns a *partial, resumable*
+/// report — every already-confirmed edge keeps its verdict, unfinished
+/// edges are marked [`EdgeMinimum::incomplete`], and
+/// [`MinimizationReport::resume_assignment`] feeds the next search via
+/// [`SearchOptions::warm_start`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SearchBudget {
+    /// Probe cap, baseline included.  `None` is unbounded.
+    pub max_probes: Option<u32>,
+    /// Wall-clock cap for the whole search; an in-flight probe is never
+    /// interrupted.  `None` is unbounded.
+    pub wall_clock: Option<Duration>,
+}
+
+impl SearchBudget {
+    /// A budget with no bounds — the default.
+    pub fn unbounded() -> SearchBudget {
+        SearchBudget::default()
+    }
+}
 
 /// Tunables for [`minimize_capacities`].
 #[derive(Clone, Debug)]
@@ -49,6 +72,14 @@ pub struct SearchOptions {
     /// only guards against pathological oscillation, which monotonicity
     /// rules out anyway.
     pub max_passes: u32,
+    /// Watchdog budget; tripping it yields a partial, resumable report.
+    pub budget: SearchBudget,
+    /// Starting capacities overlaid on the Eq. (4) assignment before the
+    /// baseline probe — the resume mechanism: feed a previous partial
+    /// report's [`MinimizationReport::resume_assignment`] here to
+    /// continue where it stopped.  Unknown buffers are ignored; an
+    /// infeasible warm start fails the baseline probe honestly.
+    pub warm_start: Vec<(BufferId, u64)>,
 }
 
 impl Default for SearchOptions {
@@ -57,6 +88,8 @@ impl Default for SearchOptions {
             validation: ValidationOptions::default(),
             buffers: None,
             max_passes: 8,
+            budget: SearchBudget::default(),
+            warm_start: Vec::new(),
         }
     }
 }
@@ -78,6 +111,10 @@ pub struct EdgeMinimum {
     pub floor: u64,
     /// Probes spent on this edge across all passes.
     pub probes: u32,
+    /// `true` when the search budget expired before this edge's minimum
+    /// was confirmed: `minimal` is a validated upper bound, not a proven
+    /// minimum.  Resume via [`MinimizationReport::resume_assignment`].
+    pub incomplete: bool,
 }
 
 impl EdgeMinimum {
@@ -112,9 +149,18 @@ pub struct MinimizationReport {
     /// included — the search's raw simulation volume, for throughput
     /// accounting.
     pub events: u64,
+    /// `false` when the [`SearchBudget`] expired before every searched
+    /// edge was confirmed minimal; the affected edges carry
+    /// [`EdgeMinimum::incomplete`].
+    pub complete: bool,
 }
 
 impl MinimizationReport {
+    /// The capacities to resume an interrupted search from: every edge's
+    /// best validated value.  Feed into [`SearchOptions::warm_start`].
+    pub fn resume_assignment(&self) -> Vec<(BufferId, u64)> {
+        self.edges.iter().map(|e| (e.buffer, e.minimal)).collect()
+    }
     /// The search outcome for a specific buffer, if it is an analysed edge.
     pub fn minimum_of(&self, buffer: BufferId) -> Option<&EdgeMinimum> {
         self.edges.iter().find(|e| e.buffer == buffer)
@@ -153,6 +199,12 @@ impl fmt::Display for MinimizationReport {
                 ", BASELINE FAILED"
             },
         )?;
+        if !self.complete {
+            writeln!(
+                f,
+                "  INCOMPLETE: the search budget expired; unconfirmed edges are marked *"
+            )?;
+        }
         writeln!(
             f,
             "  {:<8} {:>10} {:>10} {:>6} {:>7} {:>7}",
@@ -161,13 +213,14 @@ impl fmt::Display for MinimizationReport {
         for e in &self.edges {
             writeln!(
                 f,
-                "  {:<8} {:>10} {:>10} {:>6} {:>7} {:>7}",
+                "  {:<8} {:>10} {:>10} {:>6} {:>7} {:>7}{}",
                 e.name,
                 e.assigned,
                 e.minimal,
                 e.gap(),
                 e.floor,
-                e.probes
+                e.probes,
+                if e.incomplete { " *" } else { "" }
             )?;
         }
         Ok(())
@@ -239,7 +292,9 @@ pub fn minimize_capacities(
     analysis: &GraphAnalysis,
     opts: &SearchOptions,
 ) -> Result<MinimizationReport, SimError> {
-    let offset = conservative_offset(tg, analysis) + opts.validation.extra_offset;
+    let offset = conservative_offset(tg, analysis)?
+        .checked_add(opts.validation.extra_offset)
+        .ok_or_else(crate::validate::offset_overflow)?;
 
     // One sized clone and one runner for the entire search: each of the
     // potentially thousands of probes below resets the runner's arenas
@@ -249,12 +304,20 @@ pub fn minimize_capacities(
     let mut runner = probe_runner(&sized, analysis, offset, opts)?;
     let mut events = 0u64;
 
-    // Working assignment, one slot per edge in the analysis' order.
+    // Working assignment, one slot per edge in the analysis' order; the
+    // warm start (a previous partial search's best validated values)
+    // overlays the Eq. (4) assignment and is re-validated by the
+    // baseline probe below, so an infeasible warm start fails honestly.
     let mut current: Vec<(BufferId, u64)> = analysis
         .capacities()
         .iter()
         .map(|c| (c.buffer, c.capacity))
         .collect();
+    for &(buffer, capacity) in &opts.warm_start {
+        if let Some(slot) = current.iter_mut().find(|(b, _)| *b == buffer) {
+            slot.1 = capacity;
+        }
+    }
     let mut edges: Vec<EdgeMinimum> = analysis
         .capacities()
         .iter()
@@ -275,6 +338,7 @@ pub fn minimize_capacities(
                 minimal: c.capacity,
                 floor,
                 probes: 0,
+                incomplete: false,
             }
         })
         .collect();
@@ -284,11 +348,23 @@ pub fn minimize_capacities(
             .map_or(true, |allow| allow.contains(&buffer))
     };
 
-    let mut probes = 1u32;
+    // `Cell` so the budget check can read the probe count while the
+    // probe closure below holds it for incrementing.
+    let probes = std::cell::Cell::new(1u32);
     let mut probes_passed = 0u32;
+    let started = Instant::now();
+    let out_of_budget = || {
+        opts.budget
+            .max_probes
+            .is_some_and(|cap| probes.get() >= cap)
+            || opts
+                .budget
+                .wall_clock
+                .is_some_and(|cap| started.elapsed() >= cap)
+    };
 
-    // The Eq. (4) baseline must hold, or "smaller still passes" verdicts
-    // would be meaningless.
+    // The Eq. (4) baseline (plus warm start) must hold, or "smaller still
+    // passes" verdicts would be meaningless.
     let baseline = runner.validate(&current)?;
     events += baseline.events();
     let baseline_clear = baseline.all_clear();
@@ -298,19 +374,33 @@ pub fn minimize_capacities(
             baseline_clear,
             edges,
             passes: 0,
-            probes,
+            probes: probes.get(),
             probes_passed,
             events,
+            complete: true,
         });
     }
     probes_passed += 1;
+    // The warm-started assignment is now validated: report it as the
+    // per-edge best until the search improves on it.
+    for (slot, edge) in current.iter().zip(edges.iter_mut()) {
+        edge.minimal = slot.1;
+    }
 
+    // Once an edge's `minimal − 1` has failed a probe, the edge is
+    // confirmed forever: feasibility is monotone in capacity, so later
+    // passes only tighten *other* edges and can never make this edge's
+    // `minimal − 1` feasible again.  Confirmed edges are skipped, and an
+    // edge left unconfirmed when the budget trips is exactly the
+    // `incomplete` one.
+    let mut confirmed = vec![false; edges.len()];
+    let mut complete = true;
     let mut passes = 0u32;
-    while passes < opts.max_passes {
+    'passes: while passes < opts.max_passes {
         passes += 1;
         let mut shrunk = false;
         for i in 0..edges.len() {
-            if !searchable(edges[i].buffer) {
+            if !searchable(edges[i].buffer) || confirmed[i] {
                 continue;
             }
             // `current[i].1` is known feasible (baseline or a previous
@@ -320,7 +410,12 @@ pub fn minimize_capacities(
             let floor = edges[i].floor;
             let known_good = current[i].1;
             if known_good <= floor {
+                confirmed[i] = true;
                 continue;
+            }
+            if out_of_budget() {
+                complete = false;
+                break 'passes;
             }
             let mut try_at =
                 |cap: u64, current: &mut Vec<(BufferId, u64)>, runner: &mut ScenarioRunner<'_>| {
@@ -328,7 +423,7 @@ pub fn minimize_capacities(
                     let report = runner.validate(current)?;
                     events += report.events();
                     edges[i].probes += 1;
-                    probes += 1;
+                    probes.set(probes.get() + 1);
                     let pass = report.all_clear();
                     if pass {
                         probes_passed += 1;
@@ -338,13 +433,24 @@ pub fn minimize_capacities(
             let mut known_good = known_good;
             if !try_at(known_good - 1, &mut current, &mut runner)? {
                 current[i].1 = known_good;
+                confirmed[i] = true;
                 continue;
             }
             known_good -= 1;
             // Binary search: `known_good` passes, `floor − 1` is
-            // structurally infeasible.
+            // structurally infeasible, and `lo − 1` has always failed a
+            // probe (or is below the floor) — so at `lo == known_good`
+            // the edge is confirmed minimal.
             let mut lo = floor;
             while lo < known_good {
+                if out_of_budget() {
+                    // `known_good` is validated — keep it as the best
+                    // bound and stop; the edge stays unconfirmed.
+                    complete = false;
+                    current[i].1 = known_good;
+                    edges[i].minimal = known_good;
+                    break 'passes;
+                }
                 let mid = lo + (known_good - lo) / 2;
                 if try_at(mid, &mut current, &mut runner)? {
                     known_good = mid;
@@ -354,6 +460,7 @@ pub fn minimize_capacities(
             }
             current[i].1 = known_good;
             edges[i].minimal = known_good;
+            confirmed[i] = true;
             shrunk = true;
         }
         if !shrunk {
@@ -361,14 +468,18 @@ pub fn minimize_capacities(
         }
     }
 
+    for (i, edge) in edges.iter_mut().enumerate() {
+        edge.incomplete = !complete && searchable(edge.buffer) && !confirmed[i];
+    }
     Ok(MinimizationReport {
         offset,
         baseline_clear,
         edges,
         passes,
-        probes,
+        probes: probes.get(),
         probes_passed,
         events,
+        complete,
     })
 }
 

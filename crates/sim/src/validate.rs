@@ -27,8 +27,31 @@
 //! minimal one preserves feasibility — while an under-provisioned buffer
 //! makes the endpoint's backlog grow without bound and misses its deadline
 //! at every offset.
+//!
+//! # The degradation ladder
+//!
+//! A battery of thousands of probe runs must not die on its weakest run,
+//! so the runner degrades instead of aborting:
+//!
+//! * **Worker panic isolation** — every scenario executes inside
+//!   [`std::panic::catch_unwind`]; a panicking probe becomes a typed
+//!   [`WorkerPanic`] entry in the report ([`ValidationReport::panics`])
+//!   and the remaining scenarios still run.  A report with panics is
+//!   never [`ValidationReport::all_clear`].
+//! * **Engine fallback** — when the integer tick rescale overflows
+//!   ([`SimError::TickOverflow`]) on a fault-free battery, the runner
+//!   falls back to the exact rational-time
+//!   [`crate::reference::ReferenceSimulator`] and the report says so
+//!   ([`ValidationReport::engine`]).  Fault injection is tick-engine
+//!   only, so a faulted battery propagates the overflow instead.
+//! * **Wall-clock watchdog** — [`ValidationOptions::wall_clock`] bounds
+//!   the whole battery; scenarios that have not started when the budget
+//!   expires are listed in [`ValidationReport::skipped`] and the report
+//!   is marked incomplete rather than blocking forever.
 
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
 
 use vrdf_core::{
     BufferId, ConstrainedRelease, ConstraintLocation, GraphAnalysis, Rational, TaskGraph,
@@ -38,7 +61,9 @@ use vrdf_core::{
 use crate::engine::{
     SimConfig, SimOutcome, SimPlan, SimReport, SimState, Simulator, TraceLevel, Violation,
 };
+use crate::faults::FaultPlan;
 use crate::policy::{QuantumPlan, QuantumPolicy};
+use crate::reference::ReferenceSimulator;
 use crate::SimError;
 
 /// Tunables for [`validate_capacities`].
@@ -62,6 +87,15 @@ pub struct ValidationOptions {
     /// independent simulations, so the verdict is identical for every
     /// thread count — only the wall clock changes.
     pub threads: usize,
+    /// Wall-clock budget for one whole battery run.  Scenarios not yet
+    /// started when it expires are skipped and listed in
+    /// [`ValidationReport::skipped`]; an in-flight scenario is never
+    /// interrupted.  `None` (the default) runs unbounded.
+    pub wall_clock: Option<Duration>,
+    /// Chaos-testing hook: the worker panics immediately before running
+    /// the named scenario, exercising the battery's panic isolation.
+    /// `None` (the default) injects nothing.
+    pub chaos_panic_scenario: Option<String>,
 }
 
 impl Default for ValidationOptions {
@@ -74,7 +108,45 @@ impl Default for ValidationOptions {
             max_events: 50_000_000,
             stop_on_violation: true,
             threads: 0,
+            wall_clock: None,
+            chaos_panic_scenario: None,
         }
+    }
+}
+
+/// Which simulation engine executed a battery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// The integer tick engine ([`SimPlan`]) — the fast default.
+    Tick,
+    /// The exact rational-time [`ReferenceSimulator`] — the fallback when
+    /// the tick rescale overflows.
+    Reference,
+}
+
+impl fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineKind::Tick => f.write_str("tick"),
+            EngineKind::Reference => f.write_str("reference"),
+        }
+    }
+}
+
+/// A scenario whose probe worker panicked.  The battery isolates the
+/// panic ([`std::panic::catch_unwind`]) and carries on; the report entry
+/// replaces the scenario's result.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// The scenario whose probe panicked.
+    pub scenario: String,
+    /// The panic payload, when it was a string; a placeholder otherwise.
+    pub message: String,
+}
+
+impl fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario `{}` panicked: {}", self.scenario, self.message)
     }
 }
 
@@ -158,15 +230,28 @@ impl ScenarioResult {
 pub struct ValidationReport {
     /// The strictly periodic offset every scenario used.
     pub offset: Rational,
-    /// One result per scenario.
+    /// One result per scenario that actually ran.
     pub scenarios: Vec<ScenarioResult>,
+    /// Scenarios whose probe worker panicked (isolated, not fatal).
+    pub panics: Vec<WorkerPanic>,
+    /// Scenarios skipped by the wall-clock watchdog, in battery order.
+    pub skipped: Vec<String>,
+    /// Which engine executed the battery.
+    pub engine: EngineKind,
 }
 
 impl ValidationReport {
-    /// `true` when every scenario sustained strict periodicity — the
-    /// capacities survived the probe.
+    /// `true` when the battery is complete and every scenario sustained
+    /// strict periodicity — the capacities survived the probe.  A report
+    /// with panicked or skipped scenarios is never all-clear.
     pub fn all_clear(&self) -> bool {
-        self.scenarios.iter().all(ScenarioResult::passed)
+        self.complete() && self.scenarios.iter().all(ScenarioResult::passed)
+    }
+
+    /// `true` when every scenario actually ran: nothing panicked, nothing
+    /// was skipped by the watchdog.
+    pub fn complete(&self) -> bool {
+        self.panics.is_empty() && self.skipped.is_empty()
     }
 
     /// The scenarios that failed, with their first violation or outcome.
@@ -209,6 +294,18 @@ impl fmt::Display for ValidationReport {
                 Some(v) => writeln!(f, "  {:<12} FAILED: {v}", s.name)?,
             }
         }
+        for p in &self.panics {
+            writeln!(f, "  {:<12} PANICKED: {}", p.scenario, p.message)?;
+        }
+        for name in &self.skipped {
+            writeln!(f, "  {:<12} skipped (wall-clock budget)", name)?;
+        }
+        if self.engine == EngineKind::Reference {
+            writeln!(
+                f,
+                "  (rational-time reference engine: the tick rescale overflowed)"
+            )?;
+        }
         Ok(())
     }
 }
@@ -224,21 +321,40 @@ impl fmt::Display for ValidationReport {
 /// paper), feasibility at some offset implies feasibility at every larger
 /// one, so overshooting the minimal offset is safe — it can never turn a
 /// sufficient capacity assignment into a missing one.
-pub fn conservative_offset(tg: &TaskGraph, analysis: &GraphAnalysis) -> Rational {
+///
+/// # Errors
+///
+/// [`SimError::Analysis`] with
+/// [`vrdf_core::AnalysisError::ArithmeticOverflow`] when the summed
+/// rationals cannot be represented — pathologically fine-grained time
+/// bases whose common denominator overflows `i128`.
+pub fn conservative_offset(tg: &TaskGraph, analysis: &GraphAnalysis) -> Result<Rational, SimError> {
     let constraint = analysis.constraint();
     if constraint.location() == ConstraintLocation::Source {
         // The source only needs empty containers and every buffer starts
         // empty: it can be released immediately.
-        return Rational::ZERO;
+        return Ok(Rational::ZERO);
     }
     let mut offset = constraint.period();
     for (_, task) in tg.tasks() {
-        offset += task.response_time();
+        offset = offset
+            .checked_add(task.response_time())
+            .ok_or(offset_overflow())?;
     }
     for capacity in analysis.capacities() {
-        offset += Rational::from(capacity.capacity) * capacity.token_period;
+        let queued = Rational::from(capacity.capacity)
+            .checked_mul(capacity.token_period)
+            .ok_or(offset_overflow())?;
+        offset = offset.checked_add(queued).ok_or(offset_overflow())?;
     }
-    offset
+    Ok(offset)
+}
+
+/// The error for an endpoint offset that cannot be represented.
+pub(crate) fn offset_overflow() -> SimError {
+    SimError::Analysis(vrdf_core::AnalysisError::ArithmeticOverflow {
+        context: "conservative offset",
+    })
 }
 
 /// The scenario battery: worst-case corners, a min/max cycle, and seeded
@@ -319,7 +435,9 @@ pub fn validate_capacities(
 ) -> Result<ValidationReport, SimError> {
     let mut sized = tg.clone();
     analysis.apply(&mut sized);
-    let offset = conservative_offset(tg, analysis) + opts.extra_offset;
+    let offset = conservative_offset(tg, analysis)?
+        .checked_add(opts.extra_offset)
+        .ok_or(offset_overflow())?;
     validate_graph(
         &sized,
         analysis.constraint(),
@@ -374,11 +492,106 @@ fn effective_threads(cap: usize, n: usize) -> usize {
 /// scenarios `w, w + threads, …`) and the merge re-sorts by scenario
 /// index, so the report is bit-identical for every thread count.
 pub struct ScenarioRunner<'a> {
-    plan: SimPlan<'a>,
+    engine: RunnerEngine<'a>,
     scenarios: Vec<(String, QuantumPlan)>,
-    states: Vec<SimState>,
     threads: usize,
     offset: Rational,
+    wall_clock: Option<Duration>,
+    chaos_panic_scenario: Option<String>,
+}
+
+/// The engine a [`ScenarioRunner`] executes on: the tick engine with its
+/// per-worker arenas, or the rational-time reference when the tick
+/// rescale overflowed (fault-free batteries only).
+// One instance per battery: the variant size gap is irrelevant.
+#[allow(clippy::large_enum_variant)]
+enum RunnerEngine<'a> {
+    Tick {
+        plan: SimPlan<'a>,
+        states: Vec<SimState>,
+    },
+    Reference {
+        tg: &'a TaskGraph,
+        config: SimConfig,
+    },
+}
+
+/// What became of one scheduled scenario.
+// A handful of instances per battery: not worth boxing.
+#[allow(clippy::large_enum_variant)]
+enum RunOutcome {
+    Done(ScenarioResult),
+    Failed(SimError),
+    Panicked(WorkerPanic),
+    Skipped(String),
+}
+
+/// `true` once the battery's wall-clock deadline has passed.
+fn past(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+/// Renders a caught panic payload.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+/// Runs one scenario on the tick engine, isolating panics.  A panicked
+/// run may leave the arena mid-state, which is safe: the next reset
+/// rewrites it entirely.
+fn run_tick_scenario(
+    plan: &SimPlan<'_>,
+    state: &mut SimState,
+    name: &str,
+    quanta: &QuantumPlan,
+    capacities: &[(BufferId, u64)],
+    chaos: Option<&str>,
+) -> RunOutcome {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if chaos == Some(name) {
+            panic!("deliberate chaos panic before scenario `{name}`");
+        }
+        plan.run_with_capacities(state, quanta, capacities)
+    }));
+    match result {
+        Ok(Ok(report)) => RunOutcome::Done(ScenarioResult::from_report(name.to_owned(), report)),
+        Ok(Err(e)) => RunOutcome::Failed(e),
+        Err(payload) => RunOutcome::Panicked(WorkerPanic {
+            scenario: name.to_owned(),
+            message: panic_message(payload),
+        }),
+    }
+}
+
+/// Runs one scenario on the rational-time reference engine (the degraded
+/// path: a fresh simulator per scenario), isolating panics.
+fn run_reference_scenario(
+    tg: &TaskGraph,
+    config: &SimConfig,
+    name: &str,
+    quanta: &QuantumPlan,
+    chaos: Option<&str>,
+) -> RunOutcome {
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        if chaos == Some(name) {
+            panic!("deliberate chaos panic before scenario `{name}`");
+        }
+        ReferenceSimulator::new(tg, quanta.clone(), config.clone()).map(|sim| sim.run())
+    }));
+    match result {
+        Ok(Ok(report)) => RunOutcome::Done(ScenarioResult::from_report(name.to_owned(), report)),
+        Ok(Err(e)) => RunOutcome::Failed(e),
+        Err(payload) => RunOutcome::Panicked(WorkerPanic {
+            scenario: name.to_owned(),
+            message: panic_message(payload),
+        }),
+    }
 }
 
 impl<'a> ScenarioRunner<'a> {
@@ -389,10 +602,14 @@ impl<'a> ScenarioRunner<'a> {
     /// Capacities may still be unset here when every later
     /// [`validate`](ScenarioRunner::validate) call overrides them.
     ///
+    /// When the tick rescale overflows, the runner falls back to the
+    /// exact rational-time [`ReferenceSimulator`] instead of failing
+    /// ([`ValidationReport::engine`] says which engine ran).
+    ///
     /// # Errors
     ///
     /// Propagates [`SimError`] from plan construction (invalid DAG,
-    /// ambiguous endpoint, tick overflow).
+    /// ambiguous endpoint).
     pub fn new(
         tg: &'a TaskGraph,
         constraint: ThroughputConstraint,
@@ -400,22 +617,51 @@ impl<'a> ScenarioRunner<'a> {
         release: ConstrainedRelease,
         opts: &ValidationOptions,
     ) -> Result<ScenarioRunner<'a>, SimError> {
+        Self::with_faults(tg, constraint, offset, release, opts, &FaultPlan::default())
+    }
+
+    /// Like [`ScenarioRunner::new`], but every scenario replays the given
+    /// bounded [`FaultPlan`] (see [`SimPlan::with_faults`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`ScenarioRunner::new`], plus [`SimError::InvalidFault`] for a
+    /// malformed fault plan.  Fault injection needs the tick engine, so a
+    /// tick overflow with a non-empty fault plan is an error rather than
+    /// a silent fault-free reference fallback.
+    pub fn with_faults(
+        tg: &'a TaskGraph,
+        constraint: ThroughputConstraint,
+        offset: Rational,
+        release: ConstrainedRelease,
+        opts: &ValidationOptions,
+        faults: &FaultPlan,
+    ) -> Result<ScenarioRunner<'a>, SimError> {
         let mut config = SimConfig::periodic(constraint, offset);
         config.release = release;
         config.max_endpoint_firings = opts.endpoint_firings;
         config.max_events = opts.max_events;
         config.stop_on_violation = opts.stop_on_violation;
         config.trace = TraceLevel::None;
-        let plan = SimPlan::new(tg, config)?;
         let scenarios = scenario_plans(tg, opts);
         let threads = effective_threads(opts.threads, scenarios.len());
-        let states = (0..threads).map(|_| plan.state()).collect();
+        let engine = match SimPlan::with_faults(tg, config.clone(), faults) {
+            Ok(plan) => {
+                let states = (0..threads).map(|_| plan.state()).collect();
+                RunnerEngine::Tick { plan, states }
+            }
+            Err(SimError::TickOverflow { .. }) if faults.is_empty() => {
+                RunnerEngine::Reference { tg, config }
+            }
+            Err(e) => return Err(e),
+        };
         Ok(ScenarioRunner {
-            plan,
+            engine,
             scenarios,
-            states,
             threads,
             offset,
+            wall_clock: opts.wall_clock,
+            chaos_panic_scenario: opts.chaos_panic_scenario.clone(),
         })
     }
 
@@ -429,6 +675,14 @@ impl<'a> ScenarioRunner<'a> {
         self.scenarios.len()
     }
 
+    /// Which engine the battery executes on.
+    pub fn engine(&self) -> EngineKind {
+        match self.engine {
+            RunnerEngine::Tick { .. } => EngineKind::Tick,
+            RunnerEngine::Reference { .. } => EngineKind::Reference,
+        }
+    }
+
     /// Replays the whole battery, with per-buffer capacity overrides
     /// applied on top of the graph's assignments for every scenario.
     ///
@@ -436,33 +690,46 @@ impl<'a> ScenarioRunner<'a> {
     ///
     /// Propagates [`SimError`] from the runs (e.g. a buffer with neither
     /// an assigned nor an overridden capacity); scenario violations are
-    /// reported in the [`ValidationReport`], not as errors.
+    /// reported in the [`ValidationReport`], panicking probes in
+    /// [`ValidationReport::panics`], and watchdog-skipped scenarios in
+    /// [`ValidationReport::skipped`] — none of those are errors.
     pub fn validate(
         &mut self,
         capacities: &[(BufferId, u64)],
     ) -> Result<ValidationReport, SimError> {
-        let plan = &self.plan;
         let scenarios = &self.scenarios;
+        let deadline = self.wall_clock.map(|budget| Instant::now() + budget);
+        let chaos = self.chaos_panic_scenario.as_deref();
         let threads = self.threads;
+        let engine = match &self.engine {
+            RunnerEngine::Tick { .. } => EngineKind::Tick,
+            RunnerEngine::Reference { .. } => EngineKind::Reference,
+        };
 
-        let results = if threads <= 1 {
-            let state = &mut self.states[0];
-            scenarios
-                .iter()
-                .map(|(name, quanta)| {
-                    plan.run_with_capacities(state, quanta, capacities)
-                        .map(|report| ScenarioResult::from_report(name.clone(), report))
-                })
-                .collect::<Result<Vec<_>, _>>()?
-        } else {
-            // Strided fan-out: worker `w` takes scenarios w, w+threads, …
-            // on its own arena.  Each returns (index, result) pairs and
-            // the merge re-sorts by index, so the report is identical for
-            // every thread count.
-            let mut indexed: Vec<(usize, Result<ScenarioResult, SimError>)> =
-                std::thread::scope(|scope| {
+        let outcomes: Vec<RunOutcome> = match &mut self.engine {
+            RunnerEngine::Tick { plan, states } if threads <= 1 => {
+                let plan = &*plan;
+                let state = &mut states[0];
+                scenarios
+                    .iter()
+                    .map(|(name, quanta)| {
+                        if past(deadline) {
+                            RunOutcome::Skipped(name.clone())
+                        } else {
+                            run_tick_scenario(plan, state, name, quanta, capacities, chaos)
+                        }
+                    })
+                    .collect()
+            }
+            RunnerEngine::Tick { plan, states } => {
+                // Strided fan-out: worker `w` takes scenarios w,
+                // w+threads, … on its own arena.  Each returns (index,
+                // outcome) pairs and the merge re-sorts by index, so the
+                // report is identical for every thread count.
+                let plan = &*plan;
+                let mut indexed: Vec<(usize, RunOutcome)> = std::thread::scope(|scope| {
                     let mut handles = Vec::with_capacity(threads);
-                    for (worker, state) in self.states.iter_mut().enumerate() {
+                    for (worker, state) in states.iter_mut().enumerate() {
                         handles.push(scope.spawn(move || {
                             scenarios
                                 .iter()
@@ -470,30 +737,83 @@ impl<'a> ScenarioRunner<'a> {
                                 .skip(worker)
                                 .step_by(threads)
                                 .map(|(i, (name, quanta))| {
-                                    let result = plan
-                                        .run_with_capacities(state, quanta, capacities)
-                                        .map(|report| {
-                                            ScenarioResult::from_report(name.clone(), report)
-                                        });
-                                    (i, result)
+                                    let outcome = if past(deadline) {
+                                        RunOutcome::Skipped(name.clone())
+                                    } else {
+                                        run_tick_scenario(
+                                            plan, state, name, quanta, capacities, chaos,
+                                        )
+                                    };
+                                    (i, outcome)
                                 })
                                 .collect::<Vec<_>>()
                         }));
                     }
-                    handles
-                        .into_iter()
-                        .flat_map(|h| h.join().expect("scenario worker panicked"))
-                        .collect()
+                    let mut collected = Vec::with_capacity(scenarios.len());
+                    for h in handles {
+                        // Worker bodies isolate every scenario with
+                        // catch_unwind, so a join failure means the panic
+                        // machinery itself failed — not recoverable.
+                        #[allow(clippy::expect_used)]
+                        let items = h.join().expect("scenario worker died outside catch_unwind");
+                        collected.extend(items);
+                    }
+                    collected
                 });
-            indexed.sort_by_key(|(i, _)| *i);
-            indexed
-                .into_iter()
-                .map(|(_, r)| r)
-                .collect::<Result<Vec<_>, _>>()?
+                indexed.sort_by_key(|(i, _)| *i);
+                indexed.into_iter().map(|(_, o)| o).collect()
+            }
+            RunnerEngine::Reference { tg, config } => {
+                // The degraded path runs sequentially; overrides are
+                // applied on one clone per validate call because the
+                // reference engine reads capacities from the graph.
+                let overridden;
+                let graph: &TaskGraph = if capacities.is_empty() {
+                    tg
+                } else {
+                    let mut g = (*tg).clone();
+                    for &(bid, c) in capacities {
+                        g.set_capacity(bid, c);
+                    }
+                    overridden = g;
+                    &overridden
+                };
+                scenarios
+                    .iter()
+                    .map(|(name, quanta)| {
+                        if past(deadline) {
+                            RunOutcome::Skipped(name.clone())
+                        } else {
+                            run_reference_scenario(graph, config, name, quanta, chaos)
+                        }
+                    })
+                    .collect()
+            }
         };
+
+        let mut results = Vec::new();
+        let mut panics = Vec::new();
+        let mut skipped = Vec::new();
+        let mut first_error = None;
+        for outcome in outcomes {
+            match outcome {
+                RunOutcome::Done(r) => results.push(r),
+                RunOutcome::Failed(e) => {
+                    let _ = first_error.get_or_insert(e);
+                }
+                RunOutcome::Panicked(p) => panics.push(p),
+                RunOutcome::Skipped(name) => skipped.push(name),
+            }
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
         Ok(ValidationReport {
             offset: self.offset,
             scenarios: results,
+            panics,
+            skipped,
+            engine,
         })
     }
 }
@@ -569,7 +889,7 @@ mod tests {
     fn conservative_offset_covers_measured_drift() {
         let (tg, constraint) = pair_graph();
         let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
-        let offset = conservative_offset(&tg, &analysis);
+        let offset = conservative_offset(&tg, &analysis).expect("offset fits");
         let mut sized = tg.clone();
         analysis.apply(&mut sized);
         let drift = measure_drift(
@@ -592,7 +912,10 @@ mod tests {
         let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
         let mut sized = tg.clone();
         analysis.apply(&mut sized);
-        let mut config = SimConfig::periodic(constraint, conservative_offset(&tg, &analysis));
+        let mut config = SimConfig::periodic(
+            constraint,
+            conservative_offset(&tg, &analysis).expect("offset fits"),
+        );
         config.max_endpoint_firings = 50;
         let report = Simulator::new(&sized, QuantumPlan::uniform(QuantumPolicy::Max), config)
             .unwrap()
@@ -618,6 +941,9 @@ mod tests {
         let summary = ValidationReport {
             offset: Rational::ZERO,
             scenarios: vec![broken],
+            panics: Vec::new(),
+            skipped: Vec::new(),
+            engine: EngineKind::Tick,
         };
         assert!(summary.to_string().contains("engine accounting"));
     }
@@ -656,7 +982,10 @@ mod tests {
         .unwrap();
         let constraint = ThroughputConstraint::on_source(rat(2, 5)).unwrap();
         let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
-        assert_eq!(conservative_offset(&tg, &analysis), Rational::ZERO);
+        assert_eq!(
+            conservative_offset(&tg, &analysis).expect("offset fits"),
+            Rational::ZERO
+        );
         let opts = ValidationOptions {
             endpoint_firings: 300,
             ..ValidationOptions::default()

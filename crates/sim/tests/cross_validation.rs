@@ -51,7 +51,7 @@ fn mp3_chain_sustains_periodicity_at_published_capacities() {
 fn mp3_with_capacity(buffer: &str, capacity: u64, endpoint_firings: u64) -> bool {
     let tg = mp3_chain();
     let analysis = compute_buffer_capacities(&tg, mp3_constraint()).unwrap();
-    let offset = conservative_offset(&tg, &analysis);
+    let offset = conservative_offset(&tg, &analysis).expect("offset fits");
     let mut sized = tg.clone();
     analysis.apply(&mut sized);
     let bid = sized.buffer_by_name(buffer).unwrap();
@@ -91,7 +91,7 @@ fn analysis_capacity_minus_one_misses_deadline_on_tight_chain() {
     // produces a detectable deadline miss.
     let (tg, constraint) = random_chain(19, &ChainSpec::default()).unwrap();
     let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
-    let offset = conservative_offset(&tg, &analysis);
+    let offset = conservative_offset(&tg, &analysis).expect("offset fits");
 
     // At the computed capacities every scenario is clean...
     let clean = validate_capacities(&tg, &analysis, &quick_options(3_000)).unwrap();
@@ -132,7 +132,7 @@ fn analysis_capacity_minus_one_misses_deadline_on_tight_chain() {
 fn mp3_self_timed_drift_stays_under_conservative_offset() {
     let tg = mp3_chain();
     let analysis = compute_buffer_capacities(&tg, mp3_constraint()).unwrap();
-    let offset = conservative_offset(&tg, &analysis);
+    let offset = conservative_offset(&tg, &analysis).expect("offset fits");
     let mut sized = tg.clone();
     analysis.apply(&mut sized);
     let drift = measure_drift(&sized, mp3_constraint(), QuantumPlan::random(99), 20_000)

@@ -92,7 +92,7 @@ fn mp3_chain_is_identical_across_engines() {
     let tg = mp3_chain();
     let constraint = mp3_constraint();
     let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
-    let offset = conservative_offset(&tg, &analysis);
+    let offset = conservative_offset(&tg, &analysis).expect("offset fits");
     let mut sized = tg.clone();
     analysis.apply(&mut sized);
 
@@ -119,7 +119,7 @@ fn mp3_underprovisioned_violations_are_identical() {
     let tg = mp3_chain();
     let constraint = mp3_constraint();
     let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
-    let offset = conservative_offset(&tg, &analysis);
+    let offset = conservative_offset(&tg, &analysis).expect("offset fits");
     let mut sized = tg.clone();
     analysis.apply(&mut sized);
     let d3 = sized.buffer_by_name("d3").unwrap();
@@ -147,7 +147,7 @@ fn random_chain_battery_is_identical_across_engines() {
             Ok(a) => a,
             Err(_) => continue, // generator guarantees feasibility; belt and braces
         };
-        let offset = conservative_offset(&tg, &analysis);
+        let offset = conservative_offset(&tg, &analysis).expect("offset fits");
         let mut sized = tg.clone();
         analysis.apply(&mut sized);
 
@@ -337,7 +337,7 @@ fn fork_join_case_study_is_identical_across_engines() {
     let tg = mp3_fork_join();
     let constraint = mp3_constraint();
     let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
-    let offset = conservative_offset(&tg, &analysis);
+    let offset = conservative_offset(&tg, &analysis).expect("offset fits");
     let mut sized = tg.clone();
     analysis.apply(&mut sized);
 
@@ -385,7 +385,7 @@ fn random_dag_battery_is_identical_across_engines() {
     for seed in 0..16 {
         let (tg, constraint) = random_dag(seed, &spec).unwrap();
         let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
-        let offset = conservative_offset(&tg, &analysis);
+        let offset = conservative_offset(&tg, &analysis).expect("offset fits");
         let mut sized = tg.clone();
         analysis.apply(&mut sized);
 
@@ -456,19 +456,18 @@ fn large_chain_battery_is_identical_across_engines() {
     // one-cache-line boundaries here, where an indexing slip would hide
     // from the small-graph batteries.  Event budgets keep the reference
     // engine's exact-rational runs debug-test sized; both engines must
-    // agree on where the budget bites, bit for bit.  Small quantum sets
-    // keep the cumulative rate ratios of a 256-hop chain inside i128
-    // rationals — the default spec's ratio random-walk overflows there.
+    // agree on where the budget bites, bit for bit.  The rho grid bounds the
+    // tick clock's denominator LCM; the quanta run at the full default
+    // spec — the generator's rate-ratio bound keeps the cumulative rate
+    // ratios of a 256-hop chain inside i128 rationals.
     let spec = ChainSpec {
-        max_quantum: 2,
-        max_set_len: 2,
         rho_grid_subdivision: Some(1024),
         ..ChainSpec::default()
     };
     for len in [128usize, 256] {
         let (tg, constraint) = random_chain_of_length(97, len, &spec).unwrap();
         let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
-        let offset = conservative_offset(&tg, &analysis);
+        let offset = conservative_offset(&tg, &analysis).expect("offset fits");
         let mut sized = tg.clone();
         analysis.apply(&mut sized);
 
@@ -545,7 +544,7 @@ fn wide_fork_join_battery_is_identical_across_engines() {
     for (width, depth) in [(48usize, 2usize), (16, 4)] {
         let (tg, constraint) = fork_join_of(51, width, depth, &spec).unwrap();
         let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
-        let offset = conservative_offset(&tg, &analysis);
+        let offset = conservative_offset(&tg, &analysis).expect("offset fits");
         let mut sized = tg.clone();
         analysis.apply(&mut sized);
 
@@ -596,14 +595,12 @@ fn reused_plan_state_is_identical_to_fresh_engines() {
     use vrdf_sim::SimPlan;
 
     let spec = ChainSpec {
-        max_quantum: 2,
-        max_set_len: 2,
         rho_grid_subdivision: Some(1024),
         ..ChainSpec::default()
     };
     let (tg, constraint) = random_chain_of_length(7, 128, &spec).unwrap();
     let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
-    let offset = conservative_offset(&tg, &analysis);
+    let offset = conservative_offset(&tg, &analysis).expect("offset fits");
     let mut sized = tg.clone();
     analysis.apply(&mut sized);
 

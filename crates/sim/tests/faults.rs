@@ -1,0 +1,519 @@
+//! Acceptance tests for the bounded fault-injection layer:
+//!
+//! 1. **Zero-fault bit-identity** — a plan built with an empty
+//!    [`FaultPlan`] must be observably identical to the uninjected tick
+//!    engine (traces, violations, outcomes, statistics, event counts) on
+//!    the MP3 chain and seeded random chain/DAG corpora.
+//! 2. **Recovery pinning** — the Eq. (4) MP3 capacities absorb an
+//!    upstream stall bounded by the provisioned buffer slack (strict
+//!    periodicity never breaks), a stall past that slack misses and —
+//!    the DAC being exactly rate-matched (`ρ = τ`) — never recovers, and
+//!    an under-provisioned assignment fails under the same bounded fault
+//!    the Eq. (4) assignment absorbs.
+//! 3. **Degradation ladder** — a deliberately panicking scenario probe
+//!    and a tick-overflow-forcing graph both complete the battery with
+//!    typed annotations instead of aborting it.
+
+use std::time::Duration;
+
+use vrdf_apps::synthetic::{random_chain_of_length, random_dag, ChainSpec, DagSpec};
+use vrdf_apps::{mp3_chain, mp3_constraint};
+use vrdf_core::{
+    compute_buffer_capacities, rat, QuantumSet, Rational, TaskGraph, ThroughputConstraint,
+};
+use vrdf_sim::{
+    conservative_offset, minimize_capacities, validate_assigned_capacities_under_faults,
+    validate_capacities, validate_capacities_under_faults, EngineKind, FaultPlan,
+    FaultValidationOptions, QuantumPlan, QuantumPolicy, RecoveryVerdict, SearchBudget,
+    SearchOptions, SimConfig, SimError, SimReport, Simulator, TraceLevel, ValidationOptions,
+};
+
+/// Asserts two reports are bit-identical in every observable field.
+fn assert_identical(injected: &SimReport, plain: &SimReport, context: &str) {
+    assert_eq!(injected.outcome, plain.outcome, "{context}: outcome");
+    assert_eq!(
+        injected.violations, plain.violations,
+        "{context}: violations"
+    );
+    assert_eq!(injected.trace, plain.trace, "{context}: firing trace");
+    assert_eq!(
+        injected.events_processed, plain.events_processed,
+        "{context}: event count"
+    );
+    assert_eq!(injected.end_time, plain.end_time, "{context}: end time");
+    assert_eq!(injected.endpoint.firings, plain.endpoint.firings);
+    assert_eq!(injected.endpoint.first_start, plain.endpoint.first_start);
+    assert_eq!(injected.endpoint.last_start, plain.endpoint.last_start);
+    assert_eq!(injected.endpoint.max_drift, plain.endpoint.max_drift);
+    assert_eq!(injected.endpoint.max_lateness, plain.endpoint.max_lateness);
+    for (i, p) in injected.buffers.iter().zip(&plain.buffers) {
+        assert_eq!(i.capacity, p.capacity);
+        assert_eq!(i.max_occupancy, p.max_occupancy, "{context}: {}", i.name);
+        assert_eq!(i.produced, p.produced);
+        assert_eq!(i.consumed, p.consumed);
+    }
+    for (i, p) in injected.tasks.iter().zip(&plain.tasks) {
+        assert_eq!(i.firings, p.firings);
+        assert_eq!(i.busy_time, p.busy_time, "{context}: {}", i.name);
+    }
+    assert_eq!(injected.faults_injected, 0, "{context}: no faults injected");
+    assert_eq!(
+        injected.first_fault_time, None,
+        "{context}: no fault instant"
+    );
+    assert_eq!(
+        injected.last_fault_time, None,
+        "{context}: no fault instant"
+    );
+}
+
+/// Runs one graph through both constructors and cross-checks them.
+fn run_both_ways(tg: &TaskGraph, constraint: ThroughputConstraint, context: &str) {
+    let analysis = compute_buffer_capacities(tg, constraint).expect("analysable graph");
+    let mut sized = tg.clone();
+    analysis.apply(&mut sized);
+    let offset = conservative_offset(tg, &analysis).expect("offset fits");
+    let empty = FaultPlan::new();
+    for (scenario, quanta) in [
+        ("max", QuantumPlan::uniform(QuantumPolicy::Max)),
+        ("min", QuantumPlan::uniform(QuantumPolicy::Min)),
+        ("random", QuantumPlan::random(0xFA57)),
+    ] {
+        for periodic in [false, true] {
+            let mut config = if periodic {
+                SimConfig::periodic(constraint, offset)
+            } else {
+                SimConfig::self_timed(constraint)
+            };
+            config.max_endpoint_firings = 400;
+            config.trace = TraceLevel::All;
+            let injected = Simulator::with_faults(&sized, quanta.clone(), config.clone(), &empty)
+                .expect("fault-free construction")
+                .run();
+            let plain = Simulator::new(&sized, quanta.clone(), config)
+                .expect("plain construction")
+                .run();
+            assert_identical(
+                &injected,
+                &plain,
+                &format!("{context}/{scenario}/periodic={periodic}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_fault_plan_is_bit_identical_on_mp3() {
+    run_both_ways(&mp3_chain(), mp3_constraint(), "mp3");
+}
+
+#[test]
+fn zero_fault_plan_is_bit_identical_on_random_corpora() {
+    for seed in [3, 17] {
+        let (tg, constraint) = random_chain_of_length(
+            seed,
+            6,
+            &ChainSpec {
+                rho_grid_subdivision: Some(64),
+                ..ChainSpec::default()
+            },
+        )
+        .expect("valid random chain");
+        run_both_ways(&tg, constraint, &format!("chain-{seed}"));
+    }
+    for seed in [5, 23] {
+        let (tg, constraint) = random_dag(seed, &DagSpec::default()).expect("valid random DAG");
+        run_both_ways(&tg, constraint, &format!("dag-{seed}"));
+    }
+}
+
+/// The battery options every MP3 fault scenario uses: long enough to
+/// reach the faulted vSRC firing (≈ 10 ms of audio per firing) plus a
+/// recovery margin.
+fn mp3_fault_opts() -> FaultValidationOptions {
+    FaultValidationOptions {
+        validation: ValidationOptions {
+            endpoint_firings: 9_000,
+            random_runs: 2,
+            ..ValidationOptions::default()
+        },
+        recovery_firings: 8,
+    }
+}
+
+/// A one-firing 5 ms stall of the sample-rate converter, striking its
+/// 10th firing (≈ 80 ms into the strictly periodic phase).
+fn bounded_stall() -> FaultPlan {
+    FaultPlan::new().stall("vSRC", 10, 1, rat(5, 1_000))
+}
+
+/// `d3`'s Eq. (4) capacity plus 441 containers (one vSRC production
+/// quantum ≈ 10 ms of audio).  The headroom turns into operational
+/// slack: the DAC's cushion never drops below 441 containers, so stalls
+/// up to 10 ms are absorbed.
+const D3_WITH_HEADROOM: u64 = 882 + 441;
+
+#[test]
+fn mp3_with_headroom_absorbs_a_stall_within_the_headroom_budget() {
+    let tg = mp3_chain();
+    let analysis = compute_buffer_capacities(&tg, mp3_constraint()).expect("MP3 analyses");
+    let d3 = tg.buffer_by_name("d3").expect("d3 exists");
+    let padded = analysis.with_capacities(&tg, &[(d3, D3_WITH_HEADROOM)]);
+    let opts = mp3_fault_opts();
+    let offset =
+        conservative_offset(&tg, &analysis).expect("offset fits") + opts.validation.extra_offset;
+    let report = validate_assigned_capacities_under_faults(
+        &padded,
+        analysis.constraint(),
+        offset,
+        analysis.options().release,
+        &bounded_stall(),
+        &opts,
+    )
+    .expect("battery runs");
+    assert!(report.all_recovered(), "{report}");
+    for scenario in &report.scenarios {
+        assert_eq!(
+            scenario.verdict,
+            RecoveryVerdict::Unaffected,
+            "{}: a 5 ms stall sits inside the ≈ 10 ms headroom",
+            scenario.name
+        );
+        assert!(
+            scenario.report.faults_injected > 0,
+            "{}: the stall must actually strike",
+            scenario.name
+        );
+        assert!(scenario.report.first_fault_time.is_some());
+        assert!(scenario.report.last_fault_time.is_some());
+        // The transient is visible as backlog, not as deadline misses.
+        for (name, max_occupancy, capacity) in scenario.transient_backlog() {
+            assert!(max_occupancy <= capacity, "{name}: accounting breach");
+        }
+    }
+}
+
+#[test]
+fn mp3_exact_capacities_have_zero_fault_slack() {
+    // The Eq. (4) assignment is *exactly* sufficient: in steady state
+    // vSRC's 441-container refill lands at the very instant the DAC
+    // would otherwise starve, so even a stall far smaller than d3's
+    // nominal 20 ms of audio breaks strict periodicity — and the DAC,
+    // being exactly rate-matched (ρ = τ), can never re-absorb a backlog:
+    // the misses continue past every recovery window.
+    let tg = mp3_chain();
+    let analysis = compute_buffer_capacities(&tg, mp3_constraint()).expect("MP3 analyses");
+    let report =
+        validate_capacities_under_faults(&tg, &analysis, &bounded_stall(), &mp3_fault_opts())
+            .expect("battery runs");
+    assert!(!report.all_recovered(), "{report}");
+    for scenario in &report.scenarios {
+        assert!(
+            matches!(scenario.verdict, RecoveryVerdict::Missed { misses } if misses > 0),
+            "{}: got {}",
+            scenario.name,
+            scenario.verdict
+        );
+        assert!(scenario.report.last_fault_time.is_some());
+    }
+}
+
+#[test]
+fn under_provisioned_assignment_misses_before_the_fault_and_is_not_graded_recovered() {
+    // Shrink d3 to its structural floor (441 = one vSRC production
+    // quantum): the DAC drains the buffer to zero and waits a full
+    // 10 ms vSRC response time every refill cycle, so misses pile up
+    // long before the stall ever strikes.  The grading must pin this as
+    // Missed — pre-fault misses are insufficiency, not non-recovery.
+    let tg = mp3_chain();
+    let analysis = compute_buffer_capacities(&tg, mp3_constraint()).expect("MP3 analyses");
+    let d3 = tg.buffer_by_name("d3").expect("d3 exists");
+    let starved = analysis.with_capacities(&tg, &[(d3, 441)]);
+    let opts = mp3_fault_opts();
+    let offset =
+        conservative_offset(&tg, &analysis).expect("offset fits") + opts.validation.extra_offset;
+    let report = validate_assigned_capacities_under_faults(
+        &starved,
+        analysis.constraint(),
+        offset,
+        analysis.options().release,
+        &bounded_stall(),
+        &opts,
+    )
+    .expect("battery runs");
+    assert!(!report.all_recovered(), "{report}");
+    for scenario in &report.scenarios {
+        assert!(!scenario.verdict.is_recovered(), "{}", scenario.name);
+        let first_fault = scenario.report.first_fault_time.expect("stall struck");
+        let first_miss = scenario.report.violations.first().expect("misses").release;
+        assert!(
+            first_miss < first_fault,
+            "{}: the assignment must already miss before the fault",
+            scenario.name
+        );
+    }
+}
+
+#[test]
+fn endpoint_with_slack_recovers_with_a_bounded_miss_transient() {
+    // A sink with real slack (ρ = 1 < τ = 2) misses while stalled, then
+    // catches up back-to-back: the canonical Recovered verdict.
+    let tg = TaskGraph::linear_chain(
+        [("src", rat(1, 1)), ("snk", rat(1, 1))],
+        [("b", QuantumSet::constant(1), QuantumSet::constant(1))],
+    )
+    .expect("valid chain");
+    let constraint = ThroughputConstraint::on_sink(rat(2, 1)).expect("positive period");
+    let analysis = compute_buffer_capacities(&tg, constraint).expect("pair analyses");
+    let faults = FaultPlan::new().stall("snk", 3, 1, rat(3, 1));
+    let opts = FaultValidationOptions {
+        validation: ValidationOptions {
+            endpoint_firings: 50,
+            random_runs: 1,
+            ..ValidationOptions::default()
+        },
+        recovery_firings: 8,
+    };
+    let report =
+        validate_capacities_under_faults(&tg, &analysis, &faults, &opts).expect("battery runs");
+    assert!(report.all_recovered(), "{report}");
+    let recovered = report
+        .scenarios
+        .iter()
+        .filter(|s| matches!(s.verdict, RecoveryVerdict::Recovered { misses, .. } if misses > 0))
+        .count();
+    assert!(
+        recovered > 0,
+        "at least one scenario must miss and then recover: {report}"
+    );
+    for scenario in &report.scenarios {
+        if let RecoveryVerdict::Recovered { last_miss, .. } = scenario.verdict {
+            let window = scenario.report.last_fault_time.expect("fault struck")
+                + Rational::from(opts.recovery_firings) * constraint.period();
+            assert!(
+                last_miss <= window,
+                "{}: miss outside window",
+                scenario.name
+            );
+        }
+    }
+}
+
+#[test]
+fn drop_retry_and_release_jitter_inject_and_are_graded() {
+    let tg = TaskGraph::linear_chain(
+        [("src", rat(1, 1)), ("snk", rat(1, 1))],
+        [("b", QuantumSet::constant(1), QuantumSet::constant(1))],
+    )
+    .expect("valid chain");
+    let constraint = ThroughputConstraint::on_sink(rat(2, 1)).expect("positive period");
+    let analysis = compute_buffer_capacities(&tg, constraint).expect("pair analyses");
+    let opts = FaultValidationOptions {
+        validation: ValidationOptions {
+            endpoint_firings: 50,
+            random_runs: 1,
+            ..ValidationOptions::default()
+        },
+        recovery_firings: 8,
+    };
+    // One dropped firing retried twice costs 2·ρ = 2 extra — same shape
+    // as a stall, distinct bookkeeping.
+    let drops = FaultPlan::new().drop_retry("snk", 3, 1, 2);
+    let report =
+        validate_capacities_under_faults(&tg, &analysis, &drops, &opts).expect("battery runs");
+    assert!(report.all_recovered(), "{report}");
+    assert!(report
+        .scenarios
+        .iter()
+        .all(|s| s.report.faults_injected > 0));
+
+    // Release jitter delays the deadline together with the release, so a
+    // bounded jitter window alone never produces a miss.
+    let jitter = FaultPlan::new().delay_releases(5, 3, rat(1, 2));
+    let report =
+        validate_capacities_under_faults(&tg, &analysis, &jitter, &opts).expect("battery runs");
+    assert!(report.all_recovered(), "{report}");
+    for scenario in &report.scenarios {
+        assert_eq!(scenario.report.faults_injected, 3, "{}", scenario.name);
+    }
+}
+
+#[test]
+fn malformed_fault_plans_are_typed_errors() {
+    let tg = mp3_chain();
+    let analysis = compute_buffer_capacities(&tg, mp3_constraint()).expect("MP3 analyses");
+    let opts = FaultValidationOptions::default();
+
+    let unknown = FaultPlan::new().stall("vGONE", 0, 1, rat(1, 1));
+    match validate_capacities_under_faults(&tg, &analysis, &unknown, &opts) {
+        Err(SimError::Analysis(e)) => assert!(e.to_string().contains("vGONE")),
+        other => panic!("unknown task must be a typed error, got {other:?}"),
+    }
+
+    let negative = FaultPlan::new().stall("vSRC", 0, 1, rat(-1, 2));
+    match validate_capacities_under_faults(&tg, &analysis, &negative, &opts) {
+        Err(SimError::InvalidFault { detail }) => {
+            assert!(detail.contains("non-negative"), "{detail}")
+        }
+        other => panic!("negative delta must be InvalidFault, got {other:?}"),
+    }
+}
+
+#[test]
+fn panicking_scenario_probe_is_isolated_not_fatal() {
+    let tg = mp3_chain();
+    let analysis = compute_buffer_capacities(&tg, mp3_constraint()).expect("MP3 analyses");
+    for threads in [1, 0] {
+        let opts = ValidationOptions {
+            endpoint_firings: 500,
+            random_runs: 2,
+            threads,
+            chaos_panic_scenario: Some("cycle-minmax".to_owned()),
+            ..ValidationOptions::default()
+        };
+        let report = validate_capacities(&tg, &analysis, &opts).expect("battery survives");
+        assert_eq!(report.panics.len(), 1, "threads={threads}");
+        assert_eq!(report.panics[0].scenario, "cycle-minmax");
+        assert!(report.panics[0].message.contains("chaos"));
+        // The other scenarios still ran and passed...
+        assert_eq!(report.scenarios.len(), 4, "threads={threads}");
+        assert!(report.scenarios.iter().all(|s| s.passed()));
+        // ...but a battery with a panic is never all-clear.
+        assert!(!report.all_clear());
+        assert!(!report.complete());
+        assert!(report.to_string().contains("PANICKED"));
+    }
+}
+
+/// A graph whose times cannot share a `u64` tick clock: response times of
+/// `1/q` for a prime `q > 2^64` force `tick_den = 3q`, making the `1/3`
+/// period rescale to `q` ticks — past `u64::MAX`.
+fn tick_overflow_graph() -> (TaskGraph, ThroughputConstraint) {
+    const Q: i128 = 18_446_744_073_709_551_629; // prime, > 2^64
+    let tg = TaskGraph::linear_chain(
+        [("a", Rational::new(1, Q)), ("b", Rational::new(1, Q))],
+        [("e", QuantumSet::constant(1), QuantumSet::constant(1))],
+    )
+    .expect("valid chain");
+    let constraint = ThroughputConstraint::on_sink(rat(1, 3)).expect("positive period");
+    (tg, constraint)
+}
+
+#[test]
+fn tick_overflow_falls_back_to_the_reference_engine() {
+    let (tg, constraint) = tick_overflow_graph();
+    // The tick engine itself must refuse this graph...
+    let analysis = compute_buffer_capacities(&tg, constraint).expect("analyses fine");
+    let sized = analysis.with_capacities(&tg, &[]);
+    let mut config = SimConfig::periodic(
+        constraint,
+        conservative_offset(&tg, &analysis).expect("offset fits"),
+    );
+    config.max_endpoint_firings = 50;
+    assert!(matches!(
+        Simulator::new(&sized, QuantumPlan::uniform(QuantumPolicy::Max), config),
+        Err(SimError::TickOverflow { .. })
+    ));
+    // ...while the battery degrades to the rational-time reference and
+    // completes with the engine annotated.
+    let opts = ValidationOptions {
+        endpoint_firings: 200,
+        random_runs: 1,
+        ..ValidationOptions::default()
+    };
+    let report = validate_capacities(&tg, &analysis, &opts).expect("fallback battery runs");
+    assert_eq!(report.engine, EngineKind::Reference);
+    assert!(report.all_clear(), "{report}");
+    assert!(report.to_string().contains("reference engine"));
+
+    // Fault injection is tick-engine only: the same graph with a
+    // non-empty fault plan must propagate the overflow, not silently
+    // drop the faults.
+    let faults = FaultPlan::new().stall("a", 0, 1, rat(1, 3));
+    let result = validate_capacities_under_faults(
+        &tg,
+        &analysis,
+        &faults,
+        &FaultValidationOptions {
+            validation: opts,
+            recovery_firings: 8,
+        },
+    );
+    assert!(matches!(result, Err(SimError::TickOverflow { .. })));
+}
+
+#[test]
+fn wall_clock_watchdog_skips_unstarted_scenarios() {
+    let tg = mp3_chain();
+    let analysis = compute_buffer_capacities(&tg, mp3_constraint()).expect("MP3 analyses");
+    let opts = ValidationOptions {
+        endpoint_firings: 500,
+        random_runs: 2,
+        threads: 1,
+        wall_clock: Some(Duration::ZERO),
+        ..ValidationOptions::default()
+    };
+    let report = validate_capacities(&tg, &analysis, &opts).expect("battery survives");
+    assert!(report.scenarios.is_empty(), "nothing started in time");
+    assert_eq!(report.skipped.len(), 5);
+    assert!(!report.all_clear());
+    assert!(!report.complete());
+    assert!(report.to_string().contains("skipped"));
+}
+
+#[test]
+fn search_budget_yields_a_partial_resumable_report() {
+    let tg = mp3_chain();
+    let analysis = compute_buffer_capacities(&tg, mp3_constraint()).expect("MP3 analyses");
+    let quick = ValidationOptions {
+        endpoint_firings: 600,
+        random_runs: 1,
+        ..ValidationOptions::default()
+    };
+    // Budget of 2: the baseline plus a single probe — nowhere near
+    // enough to confirm three edges.
+    let mut opts = SearchOptions {
+        validation: quick.clone(),
+        budget: SearchBudget {
+            max_probes: Some(2),
+            wall_clock: None,
+        },
+        ..SearchOptions::default()
+    };
+    let partial = minimize_capacities(&tg, &analysis, &opts).expect("search runs");
+    assert!(partial.baseline_clear, "{partial}");
+    assert!(!partial.complete);
+    assert!(partial.edges.iter().any(|e| e.incomplete));
+    assert!(partial.to_string().contains("INCOMPLETE"));
+    // Every reported value is a validated upper bound.
+    for edge in &partial.edges {
+        assert!(edge.minimal <= edge.assigned);
+        assert!(edge.minimal >= edge.floor);
+    }
+
+    // Resuming from the partial assignment with an open budget finishes
+    // the search and lands on the same minima as an unbudgeted run.
+    opts.budget = SearchBudget::unbounded();
+    opts.warm_start = partial.resume_assignment();
+    let resumed = minimize_capacities(&tg, &analysis, &opts).expect("resumed search runs");
+    assert!(resumed.complete, "{resumed}");
+    assert!(resumed.edges.iter().all(|e| !e.incomplete));
+
+    let fresh = minimize_capacities(
+        &tg,
+        &analysis,
+        &SearchOptions {
+            validation: quick,
+            ..SearchOptions::default()
+        },
+    )
+    .expect("fresh search runs");
+    assert!(fresh.complete);
+    for (r, f) in resumed.edges.iter().zip(&fresh.edges) {
+        assert_eq!(
+            r.minimal, f.minimal,
+            "{}: resume must not change minima",
+            r.name
+        );
+    }
+}

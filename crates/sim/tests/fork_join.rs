@@ -61,7 +61,7 @@ fn fork_join_underprovisioned_channel_misses_deadlines() {
     let report = validate_assigned_capacities(
         &probed,
         analysis.constraint(),
-        vrdf_sim::conservative_offset(&tg, &analysis),
+        vrdf_sim::conservative_offset(&tg, &analysis).expect("offset fits"),
         analysis.options().release,
         &quick_validation(8_000),
     )
@@ -174,7 +174,7 @@ fn independently_variable_join_quanta_admit_unfixable_scenarios() {
         let report = validate_assigned_capacities(
             &analysis.with_capacities(&tg, &generous),
             constraint,
-            vrdf_sim::conservative_offset(&tg, &analysis),
+            vrdf_sim::conservative_offset(&tg, &analysis).expect("offset fits"),
             analysis.options().release,
             &quick_validation(10 * capacity),
         )
