@@ -125,7 +125,7 @@ fn main() {
     // production quantum is the unit the sink-edge capacity is sized in.
     let stall_task = stall_task.unwrap_or_else(|| {
         match study.name {
-            "mp3" => "vSRC",
+            "mp3" | "mp3-feedback" => "vSRC",
             _ => "vMux",
         }
         .to_owned()
@@ -149,7 +149,7 @@ fn main() {
     let d3 = study
         .graph
         .buffer_by_name("d3")
-        .expect("both case studies name their sink edge d3");
+        .expect("every case study names its sink edge d3");
     let padded_capacity = analysis
         .capacities()
         .iter()

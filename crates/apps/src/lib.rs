@@ -121,6 +121,72 @@ pub fn mp3_fork_join() -> TaskGraph {
     tg
 }
 
+/// The initial tokens `δ0` on the MP3 feedback edge of
+/// [`mp3_feedback`] — enough pre-filled decode credits that `vMP3`
+/// never starves on the back-edge while the loop's transient settles
+/// (the self-timed validation battery pins this empirically).
+pub const MP3_FEEDBACK_INITIAL_TOKENS: u64 = 128;
+
+/// The MP3 chain of [`mp3_chain`] closed by a rate-control feedback
+/// edge: the sample-rate converter grants decode credits back to the
+/// MP3 decoder, bounding how far the decoder may run ahead of the
+/// converter.
+///
+/// ```text
+/// vBR ─ d1 ─ vMP3 ─ d2 ─ vSRC ─ d3 ─ vDAC
+///             ▲           │
+///             └── fb ◄────┘   (δ0 initial tokens)
+/// ```
+///
+/// The back-edge is rate-balanced with the forward chain: `vSRC`
+/// produces 5 credits per 10 ms firing and `vMP3` consumes 12 per
+/// 24 ms firing — 0.5 credits/ms on both sides — so the rate
+/// assignment and every forward capacity are *identical* to the
+/// acyclic chain's; only the feedback buffer itself is new, sized as
+/// Eq. (4) plus its initial-token footprint.
+///
+/// The cycle `vMP3 → d2 → vSRC → fb → vMP3` is deliberately
+/// *constant-rate on every edge*: the per-pair sufficiency guarantee
+/// extends to such cycles, and the self-timed battery validates it.
+/// Routing the back-edge around the variable-rate `d1` instead (e.g.
+/// `vSRC → vBR`) admits scenarios where the cycle wedges for *any*
+/// finite `δ0` — the consumer on `d1` drawing its minimum `γ̌ = 0`
+/// forever blocks `vBR` on space, stops the credit recycle, and
+/// starves the DAC; `vrdf-sim`'s cross-validation tests pin that
+/// falsification.
+///
+/// # Examples
+///
+/// ```
+/// use vrdf_core::compute_buffer_capacities;
+///
+/// let tg = vrdf_apps::mp3_feedback();
+/// let analysis = compute_buffer_capacities(&tg, vrdf_apps::mp3_constraint()).unwrap();
+/// let forward: Vec<u64> = analysis
+///     .capacities()
+///     .iter()
+///     .filter(|c| c.name != "fb")
+///     .map(|c| c.capacity)
+///     .collect();
+/// assert_eq!(forward, vrdf_apps::MP3_PUBLISHED_CAPACITIES);
+/// ```
+#[allow(clippy::unwrap_used, clippy::expect_used)] // fixed, doctest-covered constants
+pub fn mp3_feedback() -> TaskGraph {
+    let mut tg = mp3_chain();
+    let src = tg.task_by_name("vSRC").expect("vSRC exists");
+    let mp3 = tg.task_by_name("vMP3").expect("vMP3 exists");
+    tg.connect_feedback(
+        "fb",
+        src,
+        mp3,
+        QuantumSet::constant(5),
+        QuantumSet::constant(12),
+        MP3_FEEDBACK_INITIAL_TOKENS,
+    )
+    .expect("the feedback edge is rate-balanced and tokened");
+    tg
+}
+
 /// A bundled case study resolved by name: the graph, its throughput
 /// constraint, and the strings the drivers print.
 ///
@@ -128,7 +194,7 @@ pub fn mp3_fork_join() -> TaskGraph {
 /// so graph names, labels, and usage strings cannot drift between them.
 #[derive(Clone, Debug)]
 pub struct CaseStudy {
-    /// The canonical name (`"mp3"`, `"fork-join"`).
+    /// The canonical name (`"mp3"`, `"fork-join"`, `"mp3-feedback"`).
     pub name: &'static str,
     /// A human-readable label for report headers.
     pub label: &'static str,
@@ -142,10 +208,11 @@ pub struct CaseStudy {
 }
 
 /// Canonical names accepted by [`case_study`], for usage strings.
-pub const CASE_STUDY_NAMES: [&str; 2] = ["mp3", "fork-join"];
+pub const CASE_STUDY_NAMES: [&str; 3] = ["mp3", "fork-join", "mp3-feedback"];
 
 /// Resolves a case study by name (`"forkjoin"` is accepted as an alias
-/// of `"fork-join"`); `None` for unknown names.
+/// of `"fork-join"`, and `"mp3feedback"`/`"feedback"` of
+/// `"mp3-feedback"`); `None` for unknown names.
 ///
 /// # Examples
 ///
@@ -167,6 +234,13 @@ pub fn case_study(name: &str) -> Option<CaseStudy> {
             name: "fork-join",
             label: "MP3 stereo fork/join graph",
             graph: mp3_fork_join(),
+            constraint: mp3_constraint(),
+            published_capacities: None,
+        }),
+        "mp3-feedback" | "mp3feedback" | "feedback" => Some(CaseStudy {
+            name: "mp3-feedback",
+            label: "MP3 chain with rate-control feedback",
+            graph: mp3_feedback(),
             constraint: mp3_constraint(),
             published_capacities: None,
         }),
@@ -518,6 +592,16 @@ pub mod synthetic {
         /// *down* onto the grid `τ/n` at generation time, bounding the
         /// tick clock's denominator LCM.
         pub rho_grid_subdivision: Option<u64>,
+        /// When `Some(h)`, close the fork/join into a cycle: add a
+        /// feedback edge from the join sink back to the fork source
+        /// carrying the same constant quantum on both sides (so it is
+        /// rate-balanced by the generator's carry-balance invariant)
+        /// with `q · (task_count + h)` initial tokens — enough credits
+        /// that the source never starves on the back-edge while the
+        /// forward pipeline fills, plus `h` firings of slack.  `None`
+        /// (the default) keeps the corpus acyclic and bit-identical to
+        /// earlier releases.
+        pub feedback_headroom: Option<u64>,
     }
 
     impl Default for DagSpec {
@@ -527,6 +611,7 @@ pub mod synthetic {
                 max_depth: 3,
                 max_quantum: 8,
                 rho_grid_subdivision: None,
+                feedback_headroom: None,
             }
         }
     }
@@ -673,6 +758,22 @@ pub mod synthetic {
                 QuantumSet::constant(q),
             )?;
         }
+        if let Some(headroom) = spec.feedback_headroom {
+            // Same constant quantum on both sides keeps phi(v) = tau on
+            // the cycle, so the back-edge never tightens the rate
+            // assignment; the initial tokens cover one source firing per
+            // task of pipeline latency plus the requested slack.
+            let q = rng.range(1, spec.max_quantum);
+            let delta0 = q * (tg.task_count() as u64 + headroom);
+            tg.connect_feedback(
+                "fb",
+                sink,
+                source,
+                QuantumSet::constant(q),
+                QuantumSet::constant(q),
+                delta0,
+            )?;
+        }
         Ok((tg, constraint))
     }
 }
@@ -709,6 +810,72 @@ mod tests {
             mp3.published_capacities,
             Some(&MP3_PUBLISHED_CAPACITIES[..])
         );
+    }
+
+    #[test]
+    fn mp3_feedback_keeps_forward_capacities_and_rates() {
+        let tg = mp3_feedback();
+        let analysis = compute_buffer_capacities(&tg, mp3_constraint()).unwrap();
+        // The rate-balanced back-edge changes no phi: the chain keeps
+        // its published schedule.
+        let phi = |name: &str| analysis.rates().phi(tg.task_by_name(name).unwrap());
+        assert_eq!(phi("vBR"), Rational::new(512, 10_000));
+        assert_eq!(phi("vMP3"), Rational::new(24, 1000));
+        assert_eq!(phi("vSRC"), Rational::new(10, 1000));
+        assert_eq!(phi("vDAC"), Rational::new(1, 44_100));
+        // Forward capacities are bit-identical to the acyclic chain's;
+        // the feedback buffer is Eq. (4) plus its initial tokens.
+        let forward: Vec<u64> = analysis
+            .capacities()
+            .iter()
+            .filter(|c| c.name != "fb")
+            .map(|c| c.capacity)
+            .collect();
+        assert_eq!(forward, MP3_PUBLISHED_CAPACITIES);
+        let fb = analysis
+            .capacities()
+            .iter()
+            .find(|c| c.name == "fb")
+            .expect("fb is analysed");
+        assert_eq!(fb.initial_tokens, MP3_FEEDBACK_INITIAL_TOKENS);
+        assert!(
+            fb.capacity > MP3_FEEDBACK_INITIAL_TOKENS,
+            "fb capacity {} must exceed its initial tokens",
+            fb.capacity
+        );
+    }
+
+    #[test]
+    fn feedback_headroom_knob_produces_analysable_cyclic_dags() {
+        let spec = synthetic::DagSpec {
+            feedback_headroom: Some(2),
+            ..synthetic::DagSpec::default()
+        };
+        for seed in 0..50 {
+            let (tg, constraint) = synthetic::random_dag(seed, &spec).unwrap();
+            let view = tg
+                .condensed()
+                .unwrap_or_else(|e| panic!("seed {seed} built an invalid cyclic graph: {e}"));
+            assert_eq!(view.feedback_buffers().len(), 1, "seed {seed}");
+            assert!(tg.chain().is_err(), "cyclic graphs are never chains");
+            let analysis = compute_buffer_capacities(&tg, constraint);
+            assert!(
+                analysis.is_ok(),
+                "seed {seed} produced an infeasible cyclic DAG: {:?}",
+                analysis.err()
+            );
+            // The balanced back-edge leaves the carry-balance invariant
+            // intact: every phi still resolves to tau.
+            let analysis = analysis.unwrap();
+            for (id, _) in tg.tasks() {
+                assert_eq!(analysis.rates().phi(id), constraint.period());
+            }
+            // With the knob off, the same seed yields the same acyclic
+            // graph plus nothing else — the corpus only *gains* the
+            // back-edge.
+            let (acyclic, _) = synthetic::random_dag(seed, &synthetic::DagSpec::default()).unwrap();
+            assert_eq!(tg.buffer_count(), acyclic.buffer_count() + 1);
+        }
     }
 
     #[test]
@@ -759,7 +926,7 @@ mod tests {
         let spec = synthetic::DagSpec::default();
         for seed in 0..100 {
             let (tg, constraint) = synthetic::random_dag(seed, &spec).unwrap();
-            assert!(tg.dag().is_ok(), "seed {seed} built an invalid DAG");
+            assert!(tg.condensed().is_ok(), "seed {seed} built an invalid DAG");
             let analysis = compute_buffer_capacities(&tg, constraint);
             assert!(
                 analysis.is_ok(),
@@ -788,7 +955,7 @@ mod tests {
             let (tg, constraint) = synthetic::fork_join_of(9, width, depth, &spec).unwrap();
             assert_eq!(tg.task_count(), width * depth + 2);
             assert_eq!(tg.buffer_count(), width * (depth + 1));
-            let dag = tg.dag().unwrap();
+            let dag = tg.condensed().unwrap();
             assert_eq!(dag.sources().len(), 1);
             assert_eq!(dag.sinks().len(), 1);
             assert!(compute_buffer_capacities(&tg, constraint).is_ok());

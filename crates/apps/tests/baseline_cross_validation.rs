@@ -10,7 +10,7 @@
 //! quanta are data dependent.
 
 use vrdf_apps::synthetic::{self, ChainSpec, DagSpec};
-use vrdf_apps::{case_study, mp3_chain, mp3_constraint, mp3_fork_join};
+use vrdf_apps::{case_study, mp3_chain, mp3_constraint, mp3_feedback, mp3_fork_join};
 use vrdf_core::{
     compute_buffer_capacities, GraphAnalysis, QuantumSet, TaskGraph, ThroughputConstraint,
 };
@@ -188,7 +188,7 @@ fn sized_lowerings_sustain_their_constraints_operationally() {
     // applied to the constant-max lowering, reach a periodic steady
     // state that meets the throughput constraint — for both case studies
     // and a slice of the DAG corpus.
-    for name in ["mp3", "fork-join"] {
+    for name in ["mp3", "fork-join", "mp3-feedback"] {
         let study = case_study(name).unwrap();
         let baseline = baseline_capacities(&study.graph, study.constraint).unwrap();
         let sized = baseline.sized_lowering(&study.graph);
@@ -200,6 +200,74 @@ fn sized_lowerings_sustain_their_constraints_operationally() {
     for seed in 0..8 {
         let (tg, constraint) = synthetic::random_dag(seed, &spec).unwrap();
         let baseline = baseline_capacities(&tg, constraint).unwrap();
+        let sized = baseline.sized_lowering(&tg);
+        let state = steady_state(&sized, constraint, &ExecOptions::default()).unwrap();
+        assert_eq!(state.outcome, ExecOutcome::Periodic, "seed {seed}");
+        assert!(state.meets_constraint(), "seed {seed}: {state}");
+    }
+}
+
+#[test]
+fn mp3_feedback_pins_the_identity_and_the_steady_state() {
+    // The cyclic tentpole's cross-substrate agreement.  The spread
+    // identity extends to the back-edge (constant quanta, zero spread,
+    // both sides carry the same δ0 footprint), and lowering the sized
+    // cyclic graph — initial tokens seeded onto the credit channel —
+    // reaches the exact steady-state throughput the VRDF analysis
+    // promises: the DAC's 44.1 kHz, unchanged from the acyclic chain.
+    let tg = mp3_feedback();
+    let vrdf = compute_buffer_capacities(&tg, mp3_constraint()).unwrap();
+    let baseline = baseline_capacities(&tg, mp3_constraint()).unwrap();
+    let strict = assert_spread_identity(&tg, &vrdf, &baseline, "mp3-feedback");
+    assert_eq!(strict, 1, "d1 stays the only data-dependent edge");
+    let fb = baseline
+        .edges()
+        .iter()
+        .find(|e| e.name == "fb")
+        .expect("fb is lowered");
+    assert_eq!(fb.initial_tokens, vrdf_apps::MP3_FEEDBACK_INITIAL_TOKENS);
+
+    let sized = baseline.sized_lowering(&tg);
+    let state = steady_state(&sized, mp3_constraint(), &ExecOptions::default()).unwrap();
+    assert_eq!(state.outcome, ExecOutcome::Periodic);
+    assert!(state.meets_constraint(), "{state}");
+    assert_eq!(
+        state.throughput(),
+        Some(vrdf_core::rat(44_100, 1)),
+        "the cyclic lowering must sustain exactly the DAC rate"
+    );
+
+    let chain = mp3_chain();
+    let chain_baseline = baseline_capacities(&chain, mp3_constraint()).unwrap();
+    let chain_state = steady_state(
+        &chain_baseline.sized_lowering(&chain),
+        mp3_constraint(),
+        &ExecOptions::default(),
+    )
+    .unwrap();
+    assert_eq!(
+        state.throughput(),
+        chain_state.throughput(),
+        "the balanced feedback edge must cost no throughput"
+    );
+}
+
+#[test]
+fn cyclic_dag_corpus_keeps_the_identity_and_executes() {
+    // Constant equal quanta everywhere — back-edge included — so the
+    // identity's exact corner extends to cyclic graphs, and every sized
+    // lowering still reaches a constraint-meeting periodic steady state.
+    let spec = DagSpec {
+        feedback_headroom: Some(2),
+        ..DagSpec::default()
+    };
+    for seed in 0..12 {
+        let (tg, constraint) = synthetic::random_dag(seed, &spec).unwrap();
+        let vrdf = compute_buffer_capacities(&tg, constraint).unwrap();
+        let baseline = baseline_capacities(&tg, constraint).unwrap();
+        let strict = assert_spread_identity(&tg, &vrdf, &baseline, &format!("cyclic {seed}"));
+        assert_eq!(strict, 0);
+        assert_eq!(baseline.total_over_provision(), 0);
         let sized = baseline.sized_lowering(&tg);
         let state = steady_state(&sized, constraint, &ExecOptions::default()).unwrap();
         assert_eq!(state.outcome, ExecOutcome::Periodic, "seed {seed}");

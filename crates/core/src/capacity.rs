@@ -32,7 +32,7 @@ use crate::bounds::PairGaps;
 use crate::error::AnalysisError;
 use crate::rates::{ConstraintLocation, RateAssignment, ThroughputConstraint};
 use crate::rational::Rational;
-use crate::taskgraph::{BufferId, DagView, TaskGraph, TaskId};
+use crate::taskgraph::{BufferId, CondensedView, TaskGraph, TaskId};
 
 /// When the strictly periodic (throughput-constrained) actor frees the
 /// containers it consumed.
@@ -108,6 +108,11 @@ pub struct BufferCapacity {
     pub producer_max_quantum: u64,
     /// `γ̂(e_ab)` — the consumer's maximum quantum.
     pub consumer_max_quantum: u64,
+    /// `δ0(b)` — the buffer's initial tokens (zero unless the buffer is a
+    /// feedback edge).  Already included in `capacity`: the pre-filled
+    /// containers occupy space on top of the worst-case in-flight
+    /// production Eq. (4) provisions for.
+    pub initial_tokens: u64,
 }
 
 /// The complete result of analysing a task graph (chain or fork/join
@@ -259,7 +264,7 @@ pub fn compute_buffer_capacities_with(
     constraint: ThroughputConstraint,
     options: AnalysisOptions,
 ) -> Result<GraphAnalysis, AnalysisError> {
-    let dag = tg.dag()?;
+    let dag = tg.condensed()?;
     let rates = RateAssignment::derive_dag(tg, &dag, constraint)?;
     let constrained_task = match constraint.location() {
         ConstraintLocation::Sink => dag.unique_sink(tg)?,
@@ -364,12 +369,17 @@ fn assemble(
             buffer.consumption().max(),
         );
         let overflow = |context: &'static str| AnalysisError::ArithmeticOverflow { context };
+        // A feedback edge starts with δ0 full containers; the capacity is
+        // Eq. (4) — room for the worst-case in-flight production — plus
+        // that pre-filled footprint.  Forward buffers carry δ0 = 0.
+        let capacity = gaps
+            .checked_sufficient_initial_tokens()
+            .and_then(|eq4| eq4.checked_add(buffer.initial_tokens()))
+            .ok_or_else(|| overflow("the Eq. 4 capacity"))?;
         capacities.push(BufferCapacity {
             buffer: pair.buffer,
             name: buffer.name().to_owned(),
-            capacity: gaps
-                .checked_sufficient_initial_tokens()
-                .ok_or_else(|| overflow("the Eq. 4 capacity"))?,
+            capacity,
             token_period: gaps.token_period(),
             producer_gap: gaps
                 .checked_producer_gap()
@@ -384,6 +394,7 @@ fn assemble(
             consumer_phi: pair.consumer_phi,
             producer_max_quantum: buffer.production().max(),
             consumer_max_quantum: buffer.consumption().max(),
+            initial_tokens: buffer.initial_tokens(),
         });
     }
 
@@ -447,7 +458,7 @@ pub fn pair_capacity(
     Ok(analysis.capacities()[0].clone())
 }
 
-/// Validates a task graph and returns its [`DagView`] together with its
+/// Validates a task graph and returns its [`CondensedView`] together with its
 /// rate assignment — the intermediate results of the analysis, per
 /// C-INTERMEDIATE.
 ///
@@ -458,8 +469,8 @@ pub fn pair_capacity(
 pub fn derive_rates(
     tg: &TaskGraph,
     constraint: ThroughputConstraint,
-) -> Result<(DagView, RateAssignment), AnalysisError> {
-    let dag = tg.dag()?;
+) -> Result<(CondensedView, RateAssignment), AnalysisError> {
+    let dag = tg.condensed()?;
     let rates = RateAssignment::derive_dag(tg, &dag, constraint)?;
     Ok((dag, rates))
 }
@@ -672,6 +683,45 @@ mod tests {
             derive_rates(&tg, ThroughputConstraint::on_sink(rat(1, 44100)).unwrap()).unwrap();
         assert_eq!(chain.len(), 4);
         assert_eq!(rates.pairs().len(), 3);
+    }
+
+    #[test]
+    fn feedback_capacity_is_eq4_plus_initial_tokens() {
+        // A rate-balanced loop: forward edges keep their acyclic
+        // capacities bit-identical, and the feedback edge is sized at
+        // Eq. (4) plus its δ0 footprint.
+        let build = |delta0: Option<u64>| {
+            let mut tg = TaskGraph::new();
+            let a = tg.add_task("a", Rational::ZERO).unwrap();
+            let b = tg.add_task("b", Rational::ZERO).unwrap();
+            let c = tg.add_task("c", Rational::ZERO).unwrap();
+            tg.connect("ab", a, b, q(&[2]), q(&[2])).unwrap();
+            tg.connect("bc", b, c, q(&[3]), q(&[3])).unwrap();
+            if let Some(d) = delta0 {
+                tg.connect_feedback("ca", c, a, q(&[1]), q(&[1]), d)
+                    .unwrap();
+            }
+            tg
+        };
+        let constraint = ThroughputConstraint::on_sink(rat(6, 1)).unwrap();
+        let acyclic = compute_buffer_capacities(&build(None), constraint).unwrap();
+        for &delta0 in &[1u64, 7, 100] {
+            let tg = build(Some(delta0));
+            let looped = compute_buffer_capacities(&tg, constraint).unwrap();
+            // Forward edges: unchanged by the balanced back-edge.
+            for (flat, lofted) in acyclic.capacities().iter().zip(looped.capacities()) {
+                if lofted.name == "ca" {
+                    continue;
+                }
+                assert_eq!(flat.capacity, lofted.capacity, "{}", lofted.name);
+                assert_eq!(lofted.initial_tokens, 0);
+            }
+            // Feedback edge: Eq. (4) for a zero-response 1:1 pair is
+            // pi_hat + gamma_hat - 1 = 1; plus delta0.
+            let fb = looped.capacities().iter().find(|c| c.name == "ca").unwrap();
+            assert_eq!(fb.initial_tokens, delta0);
+            assert_eq!(fb.capacity, 1 + delta0);
+        }
     }
 
     #[test]

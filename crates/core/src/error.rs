@@ -37,6 +37,18 @@ pub enum AnalysisError {
         /// Human-readable description of the violation.
         detail: String,
     },
+    /// A cycle exists whose feedback edge carries no initial tokens (or
+    /// whose rate relaxation admits no finite rate assignment), so no
+    /// firing on the cycle can ever become enabled.  Every declared
+    /// feedback edge must carry `initial_tokens > 0`
+    /// ([`crate::TaskGraph::connect_feedback`]).
+    UnbrokenCycle {
+        /// The offending cycle as a task-name path; the last entry closes
+        /// back onto the first.
+        cycle: Vec<String>,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
     /// The constrained endpoint is not unique: sink-constrained analysis
     /// needs exactly one task without output buffers, source-constrained
     /// analysis exactly one task without input buffers — otherwise the
@@ -119,6 +131,9 @@ impl fmt::Display for AnalysisError {
             AnalysisError::NotADag { task, detail } => {
                 write!(f, "graph is not a dag at task `{task}`: {detail}")
             }
+            AnalysisError::UnbrokenCycle { cycle, detail } => {
+                write!(f, "cycle `{}` is unbroken: {detail}", cycle.join(" -> "))
+            }
             AnalysisError::AmbiguousEndpoint { role, tasks } => write!(
                 f,
                 "throughput constraint on the {role} is ambiguous: {} candidate endpoints ({})",
@@ -183,6 +198,10 @@ mod tests {
             AnalysisError::NotADag {
                 task: "t".into(),
                 detail: "a cycle through it".into(),
+            },
+            AnalysisError::UnbrokenCycle {
+                cycle: vec!["a".into(), "b".into(), "a".into()],
+                detail: "its feedback edge carries no initial tokens".into(),
             },
             AnalysisError::AmbiguousEndpoint {
                 role: "sink",

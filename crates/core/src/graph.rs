@@ -317,8 +317,9 @@ impl VrdfGraph {
     /// Every task becomes an actor with `ρ(v) = κ(w)`; every buffer
     /// `b_ab` becomes edges `e_ab` (data) and `e_ba` (space) with
     /// `π(e_ab) = γ(e_ba) = ξ(b)`, `γ(e_ab) = π(e_ba) = λ(b)` and
-    /// `δ(e_ba) = ζ(b)` (0 when the capacity is still unset).  Buffers are
-    /// initially empty, so `δ(e_ab) = 0`.
+    /// `δ(e_ba) = ζ(b) − δ0(b)` (0 when the capacity is still unset).
+    /// A buffer starts holding its initial tokens, so `δ(e_ab) = δ0(b)` —
+    /// zero for forward buffers, strictly positive for feedback edges.
     ///
     /// # Errors
     ///
@@ -340,7 +341,7 @@ impl VrdfGraph {
                 vb,
                 buffer.production().clone(),
                 buffer.consumption().clone(),
-                0,
+                buffer.initial_tokens(),
             )?;
             let space = g.add_edge(
                 format!("{}.space", buffer.name()),
@@ -348,7 +349,10 @@ impl VrdfGraph {
                 va,
                 buffer.consumption().clone(),
                 buffer.production().clone(),
-                buffer.capacity().unwrap_or(0),
+                buffer
+                    .capacity()
+                    .unwrap_or(0)
+                    .saturating_sub(buffer.initial_tokens()),
             )?;
             edges_of_buffer.push(BufferEdges { data, space });
         }
@@ -524,6 +528,29 @@ mod tests {
         let buf = tg.connect("b", wa, wb, q(&[2]), q(&[2])).unwrap();
         let (g, map) = VrdfGraph::from_task_graph(&tg).unwrap();
         assert_eq!(g.edge(map.edges(buf).space).initial_tokens(), 0);
+    }
+
+    #[test]
+    fn from_task_graph_seeds_feedback_initial_tokens() {
+        let mut tg = TaskGraph::new();
+        let wa = tg.add_task("wa", rat(1, 10)).unwrap();
+        let wb = tg.add_task("wb", rat(1, 20)).unwrap();
+        let fwd = tg.connect("f", wa, wb, q(&[1]), q(&[1])).unwrap();
+        let fb = tg
+            .connect_feedback("r", wb, wa, q(&[1]), q(&[1]), 3)
+            .unwrap();
+        tg.set_capacity(fwd, 2);
+        tg.set_capacity(fb, 5);
+        let (g, map) = VrdfGraph::from_task_graph(&tg).unwrap();
+        // Feedback: data edge pre-filled with delta0, space edge holds
+        // the remaining empty containers.
+        assert_eq!(g.edge(map.edges(fb).data).initial_tokens(), 3);
+        assert_eq!(g.edge(map.edges(fb).space).initial_tokens(), 2);
+        // Forward buffer unchanged: empty data, full space.
+        assert_eq!(g.edge(map.edges(fwd).data).initial_tokens(), 0);
+        assert_eq!(g.edge(map.edges(fwd).space).initial_tokens(), 2);
+        g.check_buffer_pair(map.edges(fb).data, map.edges(fb).space)
+            .unwrap();
     }
 
     #[test]

@@ -100,4 +100,6 @@ pub use graph::{Actor, ActorId, BufferEdges, Edge, EdgeId, ModelMapping, VrdfGra
 pub use quantum::QuantumSet;
 pub use rates::{ConstraintLocation, PairTiming, RateAssignment, ThroughputConstraint};
 pub use rational::{rat, ParseRationalError, Rational};
-pub use taskgraph::{Buffer, BufferId, ChainView, DagView, Task, TaskGraph, TaskId};
+#[allow(deprecated)]
+pub use taskgraph::DagView;
+pub use taskgraph::{Buffer, BufferId, ChainView, CondensedView, Task, TaskGraph, TaskId};

@@ -37,7 +37,7 @@
 
 use crate::error::AnalysisError;
 use crate::rational::Rational;
-use crate::taskgraph::{BufferId, ChainView, DagView, TaskGraph, TaskId};
+use crate::taskgraph::{BufferId, ChainView, CondensedView, TaskGraph, TaskId};
 
 /// `phi / quantum * quantum` with overflow surfaced as a typed error —
 /// the single step both rate walks chain along the graph.
@@ -266,13 +266,22 @@ impl RateAssignment {
         })
     }
 
-    /// Derives rates for a validated fork/join DAG under a throughput
+    /// Derives rates for a validated fork/join graph under a throughput
     /// constraint — the topology-general form of [`RateAssignment::derive`].
     ///
     /// Processing order is topological (reversed in sink-constrained
     /// mode), so every task's `φ` is the binding minimum over its already
     /// resolved neighbours; see the module docs for the fork/join rules.
     /// On a chain this is exactly the chain walk.
+    ///
+    /// When the view carries feedback edges, a back-edge's rate
+    /// constraint joins the binding minimum like any other edge: after
+    /// the forward pass a relaxation loop repeats full passes taking the
+    /// minimum over *all* adjacent edges — feedback included — until the
+    /// `φ` values stop changing.  `φ` values only ever decrease, so on a
+    /// rate-balanced cycle (loop gain ≥ 1) the loop settles after at
+    /// most one pass per feedback edge; a cycle whose rate-ratio product
+    /// is below one admits no finite rate assignment and is rejected.
     ///
     /// # Errors
     ///
@@ -281,9 +290,11 @@ impl RateAssignment {
     ///   mode); the extra endpoints' rates would be underdetermined.
     /// * [`AnalysisError::ZeroQuantumNotSupported`] — as in
     ///   [`RateAssignment::derive`].
+    /// * [`AnalysisError::UnbrokenCycle`] — the feedback relaxation did
+    ///   not converge (the cycle demands ever-increasing rates).
     pub fn derive_dag(
         tg: &TaskGraph,
-        dag: &DagView,
+        dag: &CondensedView,
         constraint: ThroughputConstraint,
     ) -> Result<RateAssignment, AnalysisError> {
         let mut phi = vec![Rational::ZERO; tg.task_count()];
@@ -291,8 +302,10 @@ impl RateAssignment {
             ConstraintLocation::Sink => {
                 let sink = dag.unique_sink(tg)?;
                 phi[sink.index()] = constraint.period;
-                // Reverse topological order: every consumer's phi is
-                // resolved before its producers are visited.
+                // Reverse topological order over the forward core: every
+                // consumer's phi is resolved before its producers are
+                // visited.  Feedback edges wait for the relaxation loop —
+                // their consumers sit topologically *earlier*.
                 for &task in dag.tasks().iter().rev() {
                     if task == sink {
                         continue;
@@ -300,6 +313,9 @@ impl RateAssignment {
                     let mut binding: Option<Rational> = None;
                     for &buffer_id in tg.output_buffers(task) {
                         let buffer = tg.buffer(buffer_id);
+                        if buffer.is_feedback() {
+                            continue;
+                        }
                         if buffer.production().contains_zero() {
                             return Err(AnalysisError::ZeroQuantumNotSupported {
                                 buffer: buffer.name().to_owned(),
@@ -314,14 +330,15 @@ impl RateAssignment {
                         )?;
                         binding = Some(binding.map_or(candidate, |b| b.min(candidate)));
                     }
-                    // Non-sink in a single-sink DAG ⇒ ≥ 1 output, so
-                    // the fold above always binds.
+                    // Non-sink in a single-sink core ⇒ ≥ 1 forward
+                    // output, so the fold above always binds.
                     #[allow(clippy::expect_used)]
                     {
                         phi[task.index()] = binding
                             .expect("every non-sink task of a single-sink DAG has an output");
                     }
                 }
+                Self::relax_feedback(tg, dag, &mut phi, sink, ConstraintLocation::Sink)?;
             }
             ConstraintLocation::Source => {
                 let source = dag.unique_source(tg)?;
@@ -333,6 +350,9 @@ impl RateAssignment {
                     let mut binding: Option<Rational> = None;
                     for &buffer_id in tg.input_buffers(task) {
                         let buffer = tg.buffer(buffer_id);
+                        if buffer.is_feedback() {
+                            continue;
+                        }
                         if buffer.consumption().contains_zero() {
                             return Err(AnalysisError::ZeroQuantumNotSupported {
                                 buffer: buffer.name().to_owned(),
@@ -347,14 +367,15 @@ impl RateAssignment {
                         )?;
                         binding = Some(binding.map_or(candidate, |b| b.min(candidate)));
                     }
-                    // Non-source in a single-source DAG ⇒ ≥ 1 input,
-                    // so the fold above always binds.
+                    // Non-source in a single-source core ⇒ ≥ 1 forward
+                    // input, so the fold above always binds.
                     #[allow(clippy::expect_used)]
                     {
                         phi[task.index()] = binding
                             .expect("every non-source task of a single-source DAG has an input");
                     }
                 }
+                Self::relax_feedback(tg, dag, &mut phi, source, ConstraintLocation::Source)?;
             }
         }
         // Per-pair bound rates from the resolved phis: the faster of the
@@ -394,6 +415,130 @@ impl RateAssignment {
             constraint,
             phi,
             pairs,
+        })
+    }
+
+    /// Folds feedback-edge rate constraints into `phi` by repeated full
+    /// passes over *all* adjacent edges until a fixpoint.
+    ///
+    /// `pinned` is the constrained endpoint, whose `φ = τ` never moves.
+    /// Every other task's `φ` is replaced by the binding minimum over
+    /// its outputs (sink mode) or inputs (source mode), feedback edges
+    /// now included, so values only ever decrease.  On a rate-balanced
+    /// cycle the loop settles after one pass per feedback-edge crossing;
+    /// a strictly shrinking `φ` means the cycle's rate-ratio product is
+    /// below one — no finite rate assignment exists — reported as
+    /// [`AnalysisError::UnbrokenCycle`] naming the first cycle still in
+    /// violation.
+    fn relax_feedback(
+        tg: &TaskGraph,
+        dag: &CondensedView,
+        phi: &mut [Rational],
+        pinned: TaskId,
+        location: ConstraintLocation,
+    ) -> Result<(), AnalysisError> {
+        if dag.feedback_buffers().is_empty() {
+            return Ok(());
+        }
+        for &fb in dag.feedback_buffers() {
+            let buffer = tg.buffer(fb);
+            match location {
+                ConstraintLocation::Sink if buffer.production().contains_zero() => {
+                    return Err(AnalysisError::ZeroQuantumNotSupported {
+                        buffer: buffer.name().to_owned(),
+                        role: "production",
+                    });
+                }
+                ConstraintLocation::Source if buffer.consumption().contains_zero() => {
+                    return Err(AnalysisError::ZeroQuantumNotSupported {
+                        buffer: buffer.name().to_owned(),
+                        role: "consumption",
+                    });
+                }
+                _ => {}
+            }
+        }
+        // A converging relaxation lowers some phi across a feedback edge
+        // at most once per nesting level; anything still moving after
+        // this many passes is shrinking forever.
+        let max_passes = dag.feedback_buffers().len() * dag.len() + 8;
+        for _ in 0..max_passes {
+            let mut changed = false;
+            for &task in dag.tasks().iter().rev() {
+                if task == pinned {
+                    continue;
+                }
+                let adjacent = match location {
+                    ConstraintLocation::Sink => tg.output_buffers(task),
+                    ConstraintLocation::Source => tg.input_buffers(task),
+                };
+                let mut binding: Option<Rational> = None;
+                for &buffer_id in adjacent {
+                    let buffer = tg.buffer(buffer_id);
+                    let (neighbour_phi, divide_by, multiply_by) = match location {
+                        ConstraintLocation::Sink => (
+                            phi[buffer.consumer().index()],
+                            buffer.consumption().max(),
+                            buffer.production().min(),
+                        ),
+                        ConstraintLocation::Source => (
+                            phi[buffer.producer().index()],
+                            buffer.production().max(),
+                            buffer.consumption().min(),
+                        ),
+                    };
+                    let (_, candidate) = propagate(neighbour_phi, divide_by, multiply_by)?;
+                    binding = Some(binding.map_or(candidate, |b| b.min(candidate)));
+                }
+                if let Some(b) = binding {
+                    if b < phi[task.index()] {
+                        phi[task.index()] = b;
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                return Ok(());
+            }
+        }
+        // Blame the first feedback edge whose constraint is still
+        // violated; if none is (the divergence crossed task bounds some
+        // other way), fall back to the first feedback edge.
+        let offender = dag
+            .feedback_buffers()
+            .iter()
+            .find(|&&fb| {
+                let buffer = tg.buffer(fb);
+                let (neighbour_phi, divide_by, multiply_by, mine) = match location {
+                    ConstraintLocation::Sink => (
+                        phi[buffer.consumer().index()],
+                        buffer.consumption().max(),
+                        buffer.production().min(),
+                        phi[buffer.producer().index()],
+                    ),
+                    ConstraintLocation::Source => (
+                        phi[buffer.producer().index()],
+                        buffer.production().max(),
+                        buffer.consumption().min(),
+                        phi[buffer.consumer().index()],
+                    ),
+                };
+                propagate(neighbour_phi, divide_by, multiply_by)
+                    .map(|(_, candidate)| candidate < mine)
+                    .unwrap_or(true)
+            })
+            .or_else(|| dag.feedback_buffers().first())
+            .copied();
+        #[allow(clippy::expect_used)]
+        let buffer = tg.buffer(offender.expect("feedback set is non-empty here"));
+        Err(AnalysisError::UnbrokenCycle {
+            cycle: tg.feedback_cycle_path(buffer),
+            detail: format!(
+                "rate relaxation over feedback buffer `{}` did not converge: \
+                 the cycle's rate-ratio product is below one, so no finite \
+                 rate assignment satisfies the throughput constraint",
+                buffer.name()
+            ),
         })
     }
 
@@ -625,7 +770,7 @@ mod tests {
     fn dag_walk_matches_chain_walk_on_chains() {
         let tg = mp3_chain();
         let chain = tg.chain().unwrap();
-        let dag = tg.dag().unwrap();
+        let dag = tg.condensed().unwrap();
         let constraint = ThroughputConstraint::on_sink(rat(1, 44100)).unwrap();
         let via_chain = RateAssignment::derive(&tg, &chain, constraint).unwrap();
         let via_dag = RateAssignment::derive_dag(&tg, &dag, constraint).unwrap();
@@ -638,7 +783,7 @@ mod tests {
     /// A fork: `src` feeds a fast branch (consumes 4 per firing) and a
     /// slow branch (consumes 1 per firing), both strict sinks... joined
     /// through a mux so the sink is unique.
-    fn fork_join_graph() -> (TaskGraph, crate::taskgraph::DagView) {
+    fn fork_join_graph() -> (TaskGraph, crate::taskgraph::CondensedView) {
         let mut tg = TaskGraph::new();
         let src = tg.add_task("src", Rational::ZERO).unwrap();
         let fast = tg.add_task("fast", Rational::ZERO).unwrap();
@@ -648,7 +793,7 @@ mod tests {
         tg.connect("s", src, slow, q(&[1]), q(&[1])).unwrap();
         tg.connect("fm", fast, mux, q(&[1]), q(&[1])).unwrap();
         tg.connect("sm", slow, mux, q(&[2]), q(&[1])).unwrap();
-        let dag = tg.dag().unwrap();
+        let dag = tg.condensed().unwrap();
         (tg, dag)
     }
 
@@ -692,7 +837,7 @@ mod tests {
         let c = tg.add_task("c", Rational::ZERO).unwrap();
         tg.connect("ab", a, b, q(&[1]), q(&[1])).unwrap();
         tg.connect("ac", a, c, q(&[1]), q(&[1])).unwrap();
-        let dag = tg.dag().unwrap();
+        let dag = tg.condensed().unwrap();
         let err = RateAssignment::derive_dag(
             &tg,
             &dag,
@@ -721,7 +866,7 @@ mod tests {
         tg.connect("sr", src, r, q(&[1]), q(&[1])).unwrap();
         tg.connect("ls", l, snk, q(&[1]), q(&[1])).unwrap();
         tg.connect("rs", r, snk, q(&[1]), q(&[2])).unwrap();
-        let dag = tg.dag().unwrap();
+        let dag = tg.condensed().unwrap();
         let tau = rat(2, 1);
         let rates =
             RateAssignment::derive_dag(&tg, &dag, ThroughputConstraint::on_source(tau).unwrap())
@@ -734,6 +879,113 @@ mod tests {
         // snk candidates: via ls, (1/1)·1 = 1; via rs, (2/1)·2 = 4.
         // The join binds to the fastest producer cadence.
         assert_eq!(phi("snk"), rat(1, 1));
+    }
+
+    #[test]
+    fn balanced_feedback_edge_leaves_the_rate_assignment_unchanged() {
+        // a → b → c with a rate-balanced feedback edge c is not on:
+        // b → a carrying 1:1 quanta.  The feedback candidate equals the
+        // forward phi, so the relaxation settles immediately and every
+        // phi (and every pair) matches the acyclic graph's.
+        let build = |with_feedback: bool| {
+            let mut tg = TaskGraph::new();
+            let a = tg.add_task("a", Rational::ZERO).unwrap();
+            let b = tg.add_task("b", Rational::ZERO).unwrap();
+            let c = tg.add_task("c", Rational::ZERO).unwrap();
+            tg.connect("ab", a, b, q(&[1]), q(&[1])).unwrap();
+            tg.connect("bc", b, c, q(&[2]), q(&[2])).unwrap();
+            if with_feedback {
+                tg.connect_feedback("ba", b, a, q(&[1]), q(&[1]), 3)
+                    .unwrap();
+            }
+            tg
+        };
+        let acyclic = build(false);
+        let cyclic = build(true);
+        let constraint = ThroughputConstraint::on_sink(rat(5, 1)).unwrap();
+        let flat = RateAssignment::derive_dag(&acyclic, &acyclic.condensed().unwrap(), constraint)
+            .unwrap();
+        let looped =
+            RateAssignment::derive_dag(&cyclic, &cyclic.condensed().unwrap(), constraint).unwrap();
+        for name in ["a", "b", "c"] {
+            assert_eq!(
+                flat.phi(acyclic.task_by_name(name).unwrap()),
+                looped.phi(cyclic.task_by_name(name).unwrap()),
+                "phi({name}) moved when the balanced feedback edge was added"
+            );
+        }
+        // The feedback pair gets a token period like any other buffer.
+        let fb = cyclic.buffer_by_name("ba").unwrap();
+        assert!(looped.pairs().iter().any(|p| p.buffer == fb));
+    }
+
+    #[test]
+    fn binding_feedback_edge_tightens_upstream_rates() {
+        // Feedback edge b → a demanding 2 tokens per firing of `a` while
+        // producing 1: the candidate phi(b) = phi(a)/2 binds *below* the
+        // forward value once, after which phi(a) follows and the loop
+        // shrinks again — rate-ratio product 1/4 < 1, no finite
+        // assignment, reported as the cycle it is.
+        let mut tg = TaskGraph::new();
+        let a = tg.add_task("a", Rational::ZERO).unwrap();
+        let b = tg.add_task("b", Rational::ZERO).unwrap();
+        let c = tg.add_task("c", Rational::ZERO).unwrap();
+        tg.connect("ab", a, b, q(&[1]), q(&[1])).unwrap();
+        tg.connect("bc", b, c, q(&[1]), q(&[1])).unwrap();
+        tg.connect_feedback("ba", b, a, q(&[1]), q(&[2]), 4)
+            .unwrap();
+        let dag = tg.condensed().unwrap();
+        let err = RateAssignment::derive_dag(
+            &tg,
+            &dag,
+            ThroughputConstraint::on_sink(rat(8, 1)).unwrap(),
+        )
+        .unwrap_err();
+        match err {
+            AnalysisError::UnbrokenCycle { cycle, detail } => {
+                assert_eq!(cycle, vec!["b", "a", "b"]);
+                assert!(detail.contains("did not converge"), "{detail}");
+            }
+            other => panic!("expected UnbrokenCycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn source_constrained_feedback_relaxation_mirrors_sink_mode() {
+        // A loop strictly downstream of the pinned source: b → c forward
+        // and c → b feedback, so the feedback edge's consumption side
+        // joins b's input binding minimum.  Balanced quanta keep the
+        // assignment finite; a deficient loop is rejected.
+        let build = |fb_prod: &[u64], fb_cons: &[u64]| {
+            let mut tg = TaskGraph::new();
+            let a = tg.add_task("a", Rational::ZERO).unwrap();
+            let b = tg.add_task("b", Rational::ZERO).unwrap();
+            let c = tg.add_task("c", Rational::ZERO).unwrap();
+            tg.connect("ab", a, b, q(&[1]), q(&[1])).unwrap();
+            tg.connect("bc", b, c, q(&[1]), q(&[1])).unwrap();
+            tg.connect_feedback("cb", c, b, q(fb_prod), q(fb_cons), 2)
+                .unwrap();
+            tg
+        };
+        let balanced = build(&[1], &[1]);
+        let rates = RateAssignment::derive_dag(
+            &balanced,
+            &balanced.condensed().unwrap(),
+            ThroughputConstraint::on_source(rat(3, 1)).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(rates.phi(balanced.task_by_name("b").unwrap()), rat(3, 1));
+        assert_eq!(rates.phi(balanced.task_by_name("c").unwrap()), rat(3, 1));
+        // Production max 2 per consumed 1: each relaxation pass halves
+        // phi(b) via the feedback input — divergent.
+        let deficient = build(&[2], &[1]);
+        let err = RateAssignment::derive_dag(
+            &deficient,
+            &deficient.condensed().unwrap(),
+            ThroughputConstraint::on_source(rat(3, 1)).unwrap(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, AnalysisError::UnbrokenCycle { .. }));
     }
 
     #[test]

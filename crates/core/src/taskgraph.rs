@@ -15,13 +15,17 @@
 //! * `ζ(b)` — the buffer capacity in containers; this is what the analysis
 //!   computes.
 //!
-//! The topology is a weakly connected **directed acyclic graph**: tasks
-//! may fork (one producer, many consumers) and join (many producers, one
-//! consumer), validated by [`TaskGraph::dag`].  The throughput constraint
-//! sits on a task without outputs (sink) or without inputs (source).
-//! Section 3.1's **chain** restriction — every task with at most one
-//! input and one output buffer — survives as the validated special case
-//! [`TaskGraph::chain`] / [`ChainView`].
+//! The topology is a weakly connected directed graph whose **forward**
+//! edges form a DAG: tasks may fork (one producer, many consumers) and
+//! join (many producers, one consumer), and cycles are permitted when
+//! they are closed by declared **feedback** edges carrying initial
+//! tokens ([`TaskGraph::connect_feedback`]) — the condensation of the
+//! graph onto its forward edges is validated by [`TaskGraph::condensed`].
+//! The throughput constraint sits on a task without forward outputs
+//! (sink) or without forward inputs (source).  Section 3.1's **chain**
+//! restriction — every task with at most one input and one output buffer
+//! — survives as the validated special case [`TaskGraph::chain`] /
+//! [`ChainView`].
 
 use std::fmt;
 
@@ -96,6 +100,8 @@ pub struct Buffer {
     production: QuantumSet,
     consumption: QuantumSet,
     capacity: Option<u64>,
+    initial_tokens: u64,
+    feedback: bool,
 }
 
 impl Buffer {
@@ -135,6 +141,25 @@ impl Buffer {
     #[inline]
     pub fn capacity(&self) -> Option<u64> {
         self.capacity
+    }
+
+    /// Initial tokens `δ0(b)`: full containers present before the first
+    /// firing.  Zero for buffers created by [`TaskGraph::connect`];
+    /// strictly positive on feedback edges, where the initial tokens are
+    /// what lets the cycle start turning.
+    #[inline]
+    pub fn initial_tokens(&self) -> u64 {
+        self.initial_tokens
+    }
+
+    /// Whether this buffer is a declared feedback (back) edge
+    /// ([`TaskGraph::connect_feedback`]).  Feedback edges are excluded
+    /// from the topological order of the forward core but participate in
+    /// rate derivation, capacity sizing, and simulation like any other
+    /// buffer.
+    #[inline]
+    pub fn is_feedback(&self) -> bool {
+        self.feedback
     }
 }
 
@@ -221,7 +246,68 @@ impl TaskGraph {
         production: QuantumSet,
         consumption: QuantumSet,
     ) -> Result<BufferId, AnalysisError> {
-        let name = name.into();
+        self.push_buffer(
+            name.into(),
+            producer,
+            consumer,
+            production,
+            consumption,
+            0,
+            false,
+        )
+    }
+
+    /// Connects `producer` to `consumer` with a **feedback** buffer
+    /// pre-filled with `initial_tokens` full containers.
+    ///
+    /// A feedback edge closes a cycle over the forward core: it is left
+    /// out of the topological order ([`TaskGraph::condensed`]) but takes
+    /// part in rate derivation (its rate constraint joins the binding
+    /// minimum like any join input), capacity sizing (Eq. (4) plus the
+    /// initial-token footprint), and simulation (the buffer starts with
+    /// `initial_tokens` full containers instead of empty).
+    ///
+    /// `initial_tokens` must be strictly positive, otherwise no firing on
+    /// the cycle could ever become enabled — [`TaskGraph::condensed`]
+    /// rejects a zero-token feedback edge with
+    /// [`AnalysisError::UnbrokenCycle`] naming the cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AnalysisError::DuplicateName`] for a reused buffer name
+    /// and [`AnalysisError::UnknownName`] for task handles that do not
+    /// belong to this graph.
+    pub fn connect_feedback(
+        &mut self,
+        name: impl Into<String>,
+        producer: TaskId,
+        consumer: TaskId,
+        production: QuantumSet,
+        consumption: QuantumSet,
+        initial_tokens: u64,
+    ) -> Result<BufferId, AnalysisError> {
+        self.push_buffer(
+            name.into(),
+            producer,
+            consumer,
+            production,
+            consumption,
+            initial_tokens,
+            true,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn push_buffer(
+        &mut self,
+        name: String,
+        producer: TaskId,
+        consumer: TaskId,
+        production: QuantumSet,
+        consumption: QuantumSet,
+        initial_tokens: u64,
+        feedback: bool,
+    ) -> Result<BufferId, AnalysisError> {
         if self.buffers.iter().any(|b| b.name == name) {
             return Err(AnalysisError::DuplicateName(name));
         }
@@ -238,6 +324,8 @@ impl TaskGraph {
             production,
             consumption,
             capacity: None,
+            initial_tokens,
+            feedback,
         });
         self.outputs[producer.0].push(id);
         self.inputs[consumer.0].push(id);
@@ -323,20 +411,26 @@ impl TaskGraph {
         &self.inputs[task.0]
     }
 
-    /// Validates the general fork/join topology and returns a
-    /// [`DagView`]: tasks in a deterministic topological order (ties
-    /// break by insertion order) and buffers ordered by their producer's
-    /// topological position (connection order within one producer) —
-    /// source-to-sink chain order when the graph is a chain.
+    /// Validates the general (possibly cyclic) topology and returns a
+    /// [`CondensedView`]: the **forward** edges must form a DAG, every
+    /// cycle must be closed by a declared feedback edge
+    /// ([`TaskGraph::connect_feedback`]) carrying initial tokens.  Tasks
+    /// come out in a deterministic topological order of the forward core
+    /// (ties break by insertion order) and buffers ordered by their
+    /// producer's topological position (connection order within one
+    /// producer) — source-to-sink chain order when the graph is a chain.
     ///
     /// # Errors
     ///
     /// * [`AnalysisError::EmptyGraph`] — no tasks.
-    /// * [`AnalysisError::NotADag`] — a directed cycle, or an orphan task
-    ///   with no buffers at all in a multi-task graph.
+    /// * [`AnalysisError::NotADag`] — a directed cycle among the forward
+    ///   edges (the detail names the cycle as a task path), or an orphan
+    ///   task with no buffers at all in a multi-task graph.
+    /// * [`AnalysisError::UnbrokenCycle`] — a feedback edge carrying no
+    ///   initial tokens, named as the cycle path it fails to break.
     /// * [`AnalysisError::Disconnected`] — more than one weakly connected
-    ///   component.
-    pub fn dag(&self) -> Result<DagView, AnalysisError> {
+    ///   component (feedback edges count towards connectivity).
+    pub fn condensed(&self) -> Result<CondensedView, AnalysisError> {
         if self.tasks.is_empty() {
             return Err(AnalysisError::EmptyGraph);
         }
@@ -350,7 +444,9 @@ impl TaskGraph {
                 }
             }
         }
-        // Weak connectivity: undirected flood fill from task 0.
+        // Weak connectivity: undirected flood fill from task 0, over all
+        // edges — a component held on only by its feedback edge is still
+        // connected.
         let mut seen = vec![false; self.tasks.len()];
         let mut stack = vec![0usize];
         seen[0] = true;
@@ -368,11 +464,17 @@ impl TaskGraph {
         if seen.iter().any(|s| !s) {
             return Err(AnalysisError::Disconnected);
         }
-        // Kahn's algorithm with a sorted ready set: deterministic
-        // topological order, insertion order breaking ties.  On a valid
-        // chain this reproduces the source-to-sink chain order exactly.
+        // Kahn's algorithm over the forward edges only, with a sorted
+        // ready set: deterministic topological order, insertion order
+        // breaking ties.  On a valid chain this reproduces the
+        // source-to-sink chain order exactly.
         let mut indegree: Vec<usize> = (0..self.tasks.len())
-            .map(|t| self.inputs[t].len())
+            .map(|t| {
+                self.inputs[t]
+                    .iter()
+                    .filter(|b| !self.buffers[b.0].feedback)
+                    .count()
+            })
             .collect();
         let mut ready: Vec<usize> = (0..self.tasks.len())
             .filter(|&t| indegree[t] == 0)
@@ -384,6 +486,9 @@ impl TaskGraph {
         while let Some(t) = ready.pop() {
             topo.push(TaskId(t));
             for &b in &self.outputs[t] {
+                if self.buffers[b.0].feedback {
+                    continue;
+                }
                 let consumer = self.buffers[b.0].consumer.0;
                 indegree[consumer] -= 1;
                 if indegree[consumer] == 0 {
@@ -398,42 +503,165 @@ impl TaskGraph {
             }
         }
         if topo.len() != self.tasks.len() {
-            // An incomplete topological order leaves at least one
-            // task with pending inputs.
+            // An incomplete topological order leaves at least one task
+            // with pending forward inputs.
             #[allow(clippy::expect_used)]
             let stuck = (0..self.tasks.len())
                 .find(|&t| indegree[t] > 0)
                 .expect("an unvisited task has pending inputs");
+            let cycle = self.forward_cycle_through(stuck, &indegree);
             return Err(AnalysisError::NotADag {
                 task: self.tasks[stuck].name.clone(),
-                detail: "the graph contains a directed cycle".into(),
+                detail: format!(
+                    "the graph contains a directed cycle `{}`; close it with a \
+                     feedback edge carrying initial tokens (`connect_feedback`)",
+                    cycle.join(" -> ")
+                ),
             });
         }
+        // Every feedback edge must carry initial tokens, or no firing on
+        // the cycle it closes can ever become enabled.
+        let feedback: Vec<BufferId> = self
+            .buffers()
+            .filter(|(_, b)| b.feedback)
+            .map(|(id, _)| id)
+            .collect();
+        for &fb in &feedback {
+            let buffer = &self.buffers[fb.0];
+            if buffer.initial_tokens == 0 {
+                return Err(AnalysisError::UnbrokenCycle {
+                    cycle: self.feedback_cycle_path(buffer),
+                    detail: format!(
+                        "feedback buffer `{}` carries no initial tokens",
+                        buffer.name
+                    ),
+                });
+            }
+        }
+        // Sources and sinks of the forward core: a task whose only
+        // inputs (outputs) are feedback edges is still a source (sink).
         let sources = topo
             .iter()
             .copied()
-            .filter(|t| self.inputs[t.0].is_empty())
+            .filter(|t| self.inputs[t.0].iter().all(|b| self.buffers[b.0].feedback))
             .collect();
         let sinks = topo
             .iter()
             .copied()
-            .filter(|t| self.outputs[t.0].is_empty())
+            .filter(|t| self.outputs[t.0].iter().all(|b| self.buffers[b.0].feedback))
             .collect();
-        // Buffers follow their producer's topological position (then
-        // connection order), so on a chain the view reproduces the
-        // source-to-sink buffer order of [`TaskGraph::chain`] no matter
-        // the insertion order — the DAG and chain analysis paths stay
-        // positionally interchangeable on linear graphs.
+        // Buffers — feedback edges included — follow their producer's
+        // topological position (then connection order), so on a chain the
+        // view reproduces the source-to-sink buffer order of
+        // [`TaskGraph::chain`] no matter the insertion order — the DAG
+        // and chain analysis paths stay positionally interchangeable on
+        // linear graphs, and acyclic graphs order exactly as before.
         let buffers = topo
             .iter()
             .flat_map(|t| self.outputs[t.0].iter().copied())
             .collect();
-        Ok(DagView {
+        Ok(CondensedView {
             topo,
             buffers,
             sources,
             sinks,
+            feedback,
         })
+    }
+
+    /// Former name of [`TaskGraph::condensed`].
+    #[deprecated(
+        note = "renamed to `condensed()`: the view now admits cycles closed by feedback edges"
+    )]
+    pub fn dag(&self) -> Result<CondensedView, AnalysisError> {
+        self.condensed()
+    }
+
+    /// A directed cycle among the forward edges, passing through stuck
+    /// tasks only, as a closed task-name walk (the last entry repeats
+    /// the first).  `indegree[t] > 0` identifies the tasks Kahn's
+    /// algorithm could not clear; every such task has at least one
+    /// forward predecessor that is itself stuck (a cleared producer
+    /// would have decremented the count), so walking predecessors must
+    /// revisit a task and close a cycle.
+    fn forward_cycle_through(&self, stuck: usize, indegree: &[usize]) -> Vec<String> {
+        let mut path = vec![stuck];
+        loop {
+            #[allow(clippy::expect_used)]
+            let cur = *path.last().expect("path starts non-empty");
+            #[allow(clippy::expect_used)]
+            let prev = self.inputs[cur]
+                .iter()
+                .filter(|b| !self.buffers[b.0].feedback)
+                .map(|b| self.buffers[b.0].producer.0)
+                .find(|&p| indegree[p] > 0)
+                .expect("a stuck task has a stuck forward predecessor");
+            if let Some(pos) = path.iter().position(|&t| t == prev) {
+                // `path[pos..]` walks the cycle backwards; reverse it to
+                // read along edge direction and close onto the start.
+                let mut cycle: Vec<String> = path[pos..]
+                    .iter()
+                    .rev()
+                    .map(|&t| self.tasks[t].name.clone())
+                    .collect();
+                cycle.insert(0, self.tasks[prev].name.clone());
+                return cycle;
+            }
+            path.push(prev);
+        }
+    }
+
+    /// The cycle a feedback buffer closes, as a task-name walk starting
+    /// at the buffer's producer, crossing the feedback edge to its
+    /// consumer, and returning to the producer along the shortest
+    /// forward path (closing the walk).  When the feedback edge closes
+    /// no cycle the walk is just `[producer, consumer]`.
+    pub(crate) fn feedback_cycle_path(&self, buffer: &Buffer) -> Vec<String> {
+        let start = buffer.consumer.0;
+        let goal = buffer.producer.0;
+        let mut names = vec![self.tasks[goal].name.clone()];
+        if start == goal {
+            // Self-loop: the feedback edge alone is the cycle.
+            names.push(self.tasks[start].name.clone());
+            return names;
+        }
+        // Deterministic BFS over forward edges, consumer to producer.
+        let mut parent: Vec<Option<usize>> = vec![None; self.tasks.len()];
+        parent[start] = Some(start);
+        let mut frontier = vec![start];
+        'bfs: while !frontier.is_empty() {
+            let mut next = Vec::new();
+            for &t in &frontier {
+                for &b in &self.outputs[t] {
+                    let edge = &self.buffers[b.0];
+                    if edge.feedback || parent[edge.consumer.0].is_some() {
+                        continue;
+                    }
+                    parent[edge.consumer.0] = Some(t);
+                    if edge.consumer.0 == goal {
+                        break 'bfs;
+                    }
+                    next.push(edge.consumer.0);
+                }
+            }
+            frontier = next;
+        }
+        if parent[goal].is_none() {
+            // No forward return path: the "cycle" degenerates to the
+            // feedback edge itself.
+            names.push(self.tasks[start].name.clone());
+            return names;
+        }
+        let mut back = vec![goal];
+        let mut cur = goal;
+        while cur != start {
+            #[allow(clippy::expect_used)]
+            let p = parent[cur].expect("every task on a BFS path has a parent");
+            back.push(p);
+            cur = p;
+        }
+        names.extend(back.iter().rev().map(|&t| self.tasks[t].name.clone()));
+        names
     }
 
     /// Validates the chain topology of Section 3.1 and returns the tasks
@@ -449,6 +677,16 @@ impl TaskGraph {
     pub fn chain(&self) -> Result<ChainView, AnalysisError> {
         if self.tasks.is_empty() {
             return Err(AnalysisError::EmptyGraph);
+        }
+        if let Some(b) = self.buffers.iter().find(|b| b.feedback) {
+            return Err(AnalysisError::NotAChain {
+                task: self.tasks[b.producer.0].name.clone(),
+                detail: format!(
+                    "feedback buffer `{}` closes a cycle; chains are acyclic \
+                     (use `condensed()`)",
+                    b.name
+                ),
+            });
         }
         for (id, task) in self.tasks() {
             if self.outputs[id.0].len() > 1 {
@@ -617,46 +855,75 @@ impl ChainView {
         *self.tasks.last().expect("chains are non-empty")
     }
 
-    /// The chain as a [`DagView`]: tasks in chain order (which is a
-    /// topological order) and buffers in chain order.  A chain is the
-    /// degenerate fork/join graph with all degrees at most one, so this
-    /// is a plain relabelling — no re-validation.
-    pub fn to_dag(&self) -> DagView {
-        DagView {
+    /// The chain as a [`CondensedView`]: tasks in chain order (which is
+    /// a topological order) and buffers in chain order.  A chain is the
+    /// degenerate fork/join graph with all degrees at most one and no
+    /// feedback edges, so this is a plain relabelling — no re-validation.
+    pub fn to_condensed(&self) -> CondensedView {
+        CondensedView {
             topo: self.tasks.clone(),
             buffers: self.buffers.clone(),
             sources: vec![self.source()],
             sinks: vec![self.sink()],
+            feedback: Vec::new(),
         }
+    }
+
+    /// Former name of [`ChainView::to_condensed`].
+    #[deprecated(
+        note = "renamed to `to_condensed()`: the view now admits cycles closed by feedback edges"
+    )]
+    pub fn to_dag(&self) -> CondensedView {
+        self.to_condensed()
     }
 }
 
-/// A validated fork/join task graph: tasks in topological order, buffers
-/// ordered by their producer's topological position, and the endpoint
-/// (source/sink) sets the throughput constraint can attach to.
+/// A validated task graph condensed onto its forward core: tasks in
+/// topological order of the forward edges, buffers (feedback edges
+/// included) ordered by their producer's topological position, the
+/// declared feedback edges, and the endpoint (source/sink) sets the
+/// throughput constraint can attach to.
 ///
-/// Produced by [`TaskGraph::dag`] or [`ChainView::to_dag`]; on a chain
-/// both order the buffers source to sink.
+/// Produced by [`TaskGraph::condensed`] or [`ChainView::to_condensed`];
+/// on a chain both order the buffers source to sink.  On an acyclic
+/// graph the view is exactly the old `DagView`: no feedback edges, all
+/// orders unchanged.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct DagView {
+pub struct CondensedView {
     topo: Vec<TaskId>,
     buffers: Vec<BufferId>,
     sources: Vec<TaskId>,
     sinks: Vec<TaskId>,
+    feedback: Vec<BufferId>,
 }
 
-impl DagView {
-    /// Tasks in topological order: every buffer's producer appears before
-    /// its consumer.
+/// Former name of [`CondensedView`].
+#[deprecated(
+    note = "renamed to `CondensedView`: the view now admits cycles closed by feedback edges"
+)]
+pub type DagView = CondensedView;
+
+impl CondensedView {
+    /// Tasks in topological order of the forward core: every forward
+    /// buffer's producer appears before its consumer (feedback edges are
+    /// exempt — that is what makes them back-edges).
     #[inline]
     pub fn tasks(&self) -> &[TaskId] {
         &self.topo
     }
 
-    /// All buffers of the graph, in the view's deterministic order.
+    /// All buffers of the graph — feedback edges included — in the
+    /// view's deterministic order.
     #[inline]
     pub fn buffers(&self) -> &[BufferId] {
         &self.buffers
+    }
+
+    /// The declared feedback edges, in insertion order.  Empty exactly
+    /// when the graph is acyclic.
+    #[inline]
+    pub fn feedback_buffers(&self) -> &[BufferId] {
+        &self.feedback
     }
 
     /// Number of tasks.
@@ -665,32 +932,33 @@ impl DagView {
         self.topo.len()
     }
 
-    /// Whether the view is empty (never true for a validated DAG).
+    /// Whether the view is empty (never true for a validated view).
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.topo.is_empty()
     }
 
-    /// Tasks without input buffers, in topological order.
+    /// Tasks without forward input buffers, in topological order.
     #[inline]
     pub fn sources(&self) -> &[TaskId] {
         &self.sources
     }
 
-    /// Tasks without output buffers, in topological order.
+    /// Tasks without forward output buffers, in topological order.
     #[inline]
     pub fn sinks(&self) -> &[TaskId] {
         &self.sinks
     }
 
-    /// The unique source, or [`AnalysisError::AmbiguousEndpoint`] when the
-    /// DAG has several — required by source-constrained analysis.
+    /// The unique source, or [`AnalysisError::AmbiguousEndpoint`] when
+    /// the forward core has several — required by source-constrained
+    /// analysis.
     pub fn unique_source(&self, tg: &TaskGraph) -> Result<TaskId, AnalysisError> {
         Self::unique(&self.sources, "source", tg)
     }
 
     /// The unique sink, or [`AnalysisError::AmbiguousEndpoint`] when the
-    /// DAG has several — required by sink-constrained analysis.
+    /// forward core has several — required by sink-constrained analysis.
     pub fn unique_sink(&self, tg: &TaskGraph) -> Result<TaskId, AnalysisError> {
         Self::unique(&self.sinks, "sink", tg)
     }
@@ -926,7 +1194,7 @@ mod tests {
     fn dag_accepts_fork_join_in_topological_order() {
         let tg = diamond();
         assert!(matches!(tg.chain(), Err(AnalysisError::NotAChain { .. })));
-        let dag = tg.dag().unwrap();
+        let dag = tg.condensed().unwrap();
         assert_eq!(dag.len(), 4);
         assert!(!dag.is_empty());
         // Topological: a before b/c, b/c before d; ties by insertion.
@@ -956,7 +1224,7 @@ mod tests {
         tg.connect("bd", b, d, q(&[1]), q(&[1])).unwrap();
         tg.connect("cd", c, d, q(&[1]), q(&[1])).unwrap();
         let names: Vec<&str> = tg
-            .dag()
+            .condensed()
             .unwrap()
             .tasks()
             .iter()
@@ -973,16 +1241,17 @@ mod tests {
         let b = tg.add_task("b", rat(1, 1)).unwrap();
         tg.connect("ab", a, b, q(&[1]), q(&[1])).unwrap();
         tg.connect("ba", b, a, q(&[1]), q(&[1])).unwrap();
-        match tg.dag() {
+        match tg.condensed() {
             Err(AnalysisError::NotADag { detail, .. }) => {
-                assert!(detail.contains("cycle"), "{detail}")
+                assert!(detail.contains("cycle"), "{detail}");
+                assert!(detail.contains("a -> b -> a"), "{detail}");
             }
             other => panic!("expected NotADag, got {other:?}"),
         }
         // Orphan.
         let mut tg = two_task_graph();
         tg.add_task("lonely", rat(1, 1)).unwrap();
-        match tg.dag() {
+        match tg.condensed() {
             Err(AnalysisError::NotADag { task, detail }) => {
                 assert_eq!(task, "lonely");
                 assert!(detail.contains("orphan"), "{detail}");
@@ -997,16 +1266,16 @@ mod tests {
         let d = tg.add_task("d", rat(1, 1)).unwrap();
         tg.connect("ab", a, b, q(&[1]), q(&[1])).unwrap();
         tg.connect("cd", c, d, q(&[1]), q(&[1])).unwrap();
-        assert!(matches!(tg.dag(), Err(AnalysisError::Disconnected)));
+        assert!(matches!(tg.condensed(), Err(AnalysisError::Disconnected)));
         // Empty.
         assert!(matches!(
-            TaskGraph::new().dag(),
+            TaskGraph::new().condensed(),
             Err(AnalysisError::EmptyGraph)
         ));
         // A single task is a valid (trivial) DAG, as it is a valid chain.
         let mut tg = TaskGraph::new();
         tg.add_task("only", rat(1, 1)).unwrap();
-        let dag = tg.dag().unwrap();
+        let dag = tg.condensed().unwrap();
         assert_eq!(dag.len(), 1);
         assert_eq!(dag.sources(), dag.sinks());
     }
@@ -1024,7 +1293,7 @@ mod tests {
         tg.connect("bc", b, c, q(&[1]), q(&[1])).unwrap();
         tg.connect("ab", a, b, q(&[2]), q(&[2])).unwrap();
         let chain = tg.chain().unwrap();
-        let dag = tg.dag().unwrap();
+        let dag = tg.condensed().unwrap();
         assert_eq!(dag.tasks(), chain.tasks());
         assert_eq!(dag.buffers(), chain.buffers());
         let names: Vec<&str> = dag.buffers().iter().map(|&b| tg.buffer(b).name()).collect();
@@ -1039,13 +1308,131 @@ mod tests {
         )
         .unwrap();
         let chain = tg.chain().unwrap();
-        let dag = chain.to_dag();
+        let dag = chain.to_condensed();
         assert_eq!(dag.tasks(), chain.tasks());
         assert_eq!(dag.buffers(), chain.buffers());
         assert_eq!(dag.sources(), &[chain.source()]);
         assert_eq!(dag.sinks(), &[chain.sink()]);
         // And the direct validation agrees with the conversion.
-        assert_eq!(tg.dag().unwrap(), dag);
+        assert_eq!(tg.condensed().unwrap(), dag);
+    }
+
+    #[test]
+    fn notadag_names_the_cycle_on_a_three_cycle_and_a_self_loop() {
+        // Regular 3-cycle: a → b → c → a, no feedback declared.
+        let mut tg = TaskGraph::new();
+        let a = tg.add_task("a", rat(1, 1)).unwrap();
+        let b = tg.add_task("b", rat(1, 1)).unwrap();
+        let c = tg.add_task("c", rat(1, 1)).unwrap();
+        tg.connect("ab", a, b, q(&[1]), q(&[1])).unwrap();
+        tg.connect("bc", b, c, q(&[1]), q(&[1])).unwrap();
+        tg.connect("ca", c, a, q(&[1]), q(&[1])).unwrap();
+        match tg.condensed() {
+            Err(AnalysisError::NotADag { task, detail }) => {
+                assert_eq!(task, "a");
+                assert!(detail.contains("`a -> b -> c -> a`"), "{detail}");
+            }
+            other => panic!("expected NotADag, got {other:?}"),
+        }
+        // Regular self-loop.
+        let mut tg = TaskGraph::new();
+        let a = tg.add_task("a", rat(1, 1)).unwrap();
+        tg.connect("aa", a, a, q(&[1]), q(&[1])).unwrap();
+        match tg.condensed() {
+            Err(AnalysisError::NotADag { task, detail }) => {
+                assert_eq!(task, "a");
+                assert!(detail.contains("`a -> a`"), "{detail}");
+            }
+            other => panic!("expected NotADag, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unbroken_cycle_names_the_cycle_path() {
+        // 3-cycle closed by a zero-token feedback edge.
+        let mut tg = TaskGraph::new();
+        let a = tg.add_task("a", rat(1, 1)).unwrap();
+        let b = tg.add_task("b", rat(1, 1)).unwrap();
+        let c = tg.add_task("c", rat(1, 1)).unwrap();
+        tg.connect("ab", a, b, q(&[1]), q(&[1])).unwrap();
+        tg.connect("bc", b, c, q(&[1]), q(&[1])).unwrap();
+        tg.connect_feedback("ca", c, a, q(&[1]), q(&[1]), 0)
+            .unwrap();
+        match tg.condensed() {
+            Err(AnalysisError::UnbrokenCycle { cycle, detail }) => {
+                assert_eq!(cycle, vec!["c", "a", "b", "c"]);
+                assert!(detail.contains("`ca`"), "{detail}");
+                assert!(detail.contains("no initial tokens"), "{detail}");
+            }
+            other => panic!("expected UnbrokenCycle, got {other:?}"),
+        }
+        // Zero-token feedback self-loop.
+        let mut tg = TaskGraph::new();
+        let a = tg.add_task("a", rat(1, 1)).unwrap();
+        tg.connect_feedback("aa", a, a, q(&[1]), q(&[1]), 0)
+            .unwrap();
+        match tg.condensed() {
+            Err(AnalysisError::UnbrokenCycle { cycle, .. }) => {
+                assert_eq!(cycle, vec!["a", "a"]);
+            }
+            other => panic!("expected UnbrokenCycle, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn feedback_cycle_with_initial_tokens_is_accepted() {
+        let mut tg = TaskGraph::new();
+        let a = tg.add_task("a", rat(1, 1)).unwrap();
+        let b = tg.add_task("b", rat(1, 1)).unwrap();
+        let c = tg.add_task("c", rat(1, 1)).unwrap();
+        tg.connect("ab", a, b, q(&[1]), q(&[1])).unwrap();
+        tg.connect("bc", b, c, q(&[1]), q(&[1])).unwrap();
+        let ca = tg
+            .connect_feedback("ca", c, a, q(&[1]), q(&[1]), 4)
+            .unwrap();
+        assert!(tg.buffer(ca).is_feedback());
+        assert_eq!(tg.buffer(ca).initial_tokens(), 4);
+        let ab = tg.buffer_by_name("ab").unwrap();
+        assert!(!tg.buffer(ab).is_feedback());
+        assert_eq!(tg.buffer(ab).initial_tokens(), 0);
+        let view = tg.condensed().unwrap();
+        // Forward core orders a, b, c; the feedback edge rides along at
+        // its producer's topological position without joining the order.
+        let names: Vec<&str> = view.tasks().iter().map(|&t| tg.task(t).name()).collect();
+        assert_eq!(names, vec!["a", "b", "c"]);
+        let bufs: Vec<&str> = view
+            .buffers()
+            .iter()
+            .map(|&bid| tg.buffer(bid).name())
+            .collect();
+        assert_eq!(bufs, vec!["ab", "bc", "ca"]);
+        assert_eq!(view.feedback_buffers(), &[ca]);
+        // Sources and sinks ignore feedback edges.
+        assert_eq!(view.sources(), &[a]);
+        assert_eq!(view.sinks(), &[c]);
+        assert_eq!(view.unique_source(&tg).unwrap(), a);
+        assert_eq!(view.unique_sink(&tg).unwrap(), c);
+    }
+
+    #[test]
+    fn chain_rejects_feedback_edges() {
+        let mut tg = TaskGraph::new();
+        let a = tg.add_task("a", rat(1, 1)).unwrap();
+        let b = tg.add_task("b", rat(1, 1)).unwrap();
+        tg.connect("ab", a, b, q(&[1]), q(&[1])).unwrap();
+        tg.connect_feedback("ba", b, a, q(&[1]), q(&[1]), 2)
+            .unwrap();
+        match tg.chain() {
+            Err(AnalysisError::NotAChain { task, detail }) => {
+                assert_eq!(task, "b");
+                assert!(detail.contains("feedback"), "{detail}");
+            }
+            other => panic!("expected NotAChain, got {other:?}"),
+        }
+        // But the condensed view accepts the two-task loop.
+        let view = tg.condensed().unwrap();
+        assert_eq!(view.len(), 2);
+        assert_eq!(view.feedback_buffers().len(), 1);
     }
 
     #[test]
@@ -1057,7 +1444,7 @@ mod tests {
         let c = tg.add_task("c", rat(1, 1)).unwrap();
         tg.connect("ac", a, c, q(&[1]), q(&[1])).unwrap();
         tg.connect("bc", b, c, q(&[1]), q(&[1])).unwrap();
-        let dag = tg.dag().unwrap();
+        let dag = tg.condensed().unwrap();
         assert_eq!(dag.unique_sink(&tg).unwrap(), c);
         match dag.unique_source(&tg) {
             Err(AnalysisError::AmbiguousEndpoint { role, tasks }) => {

@@ -56,6 +56,9 @@ pub struct BaselineEdge {
     pub production_spread: u64,
     /// `γ̂ − γ̌`: containers charged for the consumer's data dependence.
     pub consumption_spread: u64,
+    /// `δ0(b)` — the buffer's initial tokens (zero unless it is a
+    /// feedback edge), already included in `capacity`.
+    pub initial_tokens: u64,
 }
 
 impl BaselineEdge {
@@ -175,7 +178,7 @@ pub fn baseline_capacities(
     tg: &TaskGraph,
     constraint: ThroughputConstraint,
 ) -> Result<BaselineAnalysis, SdfError> {
-    let dag = tg.dag().map_err(SdfError::Core)?;
+    let dag = tg.condensed().map_err(SdfError::Core)?;
     let endpoint = match constraint.location() {
         ConstraintLocation::Sink => dag.unique_sink(tg).map_err(SdfError::Core)?,
         ConstraintLocation::Source => dag.unique_source(tg).map_err(SdfError::Core)?,
@@ -256,13 +259,16 @@ pub fn baseline_capacities(
             + t * Rational::from(buffer.consumption().max() - 1 + consumption_spread);
         let capacity = ((producer_gap + consumer_gap) / t + Rational::ONE).floor();
         debug_assert!(capacity >= 1);
+        // Like the VRDF side, a feedback edge's pre-filled containers
+        // occupy space on top of the in-flight bound.
         edges.push(BaselineEdge {
             buffer: buffer_id,
             name: buffer.name().to_owned(),
-            capacity: capacity as u64,
+            capacity: (capacity as u64).saturating_add(buffer.initial_tokens()),
             token_period: t,
             production_spread,
             consumption_spread,
+            initial_tokens: buffer.initial_tokens(),
         });
     }
 

@@ -407,8 +407,9 @@ impl CsdfGraph {
     /// SDF: every quantum set collapses to the singleton of its maximum
     /// (the traditional constant-rate approximation), task response times
     /// become one-phase response times, and already-assigned capacities
-    /// carry over.  Actor and channel indices equal the task and buffer
-    /// indices of `tg`, so handles translate positionally.
+    /// and initial tokens (feedback edges' `δ0`) carry over.  Actor and
+    /// channel indices equal the task and buffer indices of `tg`, so
+    /// handles translate positionally.
     ///
     /// This is exact for graphs whose sets are already constant and is
     /// what the state-space executor runs; the *conservative* sizing of a
@@ -435,6 +436,9 @@ impl CsdfGraph {
                 .expect("a valid TaskGraph has unique buffer names and positive maxima");
             if let Some(capacity) = buffer.capacity() {
                 g.set_capacity(id, capacity);
+            }
+            if buffer.initial_tokens() > 0 {
+                g.set_initial_tokens(id, buffer.initial_tokens());
             }
         }
         g
@@ -468,6 +472,15 @@ impl CsdfGraph {
 
     /// The unique endpoint for a constraint location.
     ///
+    /// On a cyclic graph no actor is free of adjacent channels in the
+    /// role direction, so when the strict rule (no outputs for a sink,
+    /// no inputs for a source) finds nothing, channels pre-loaded with
+    /// initial tokens are discounted as back-edges: a sink may still
+    /// *produce* onto such channels and a source may still *consume*
+    /// from them (the lowered feedback edges of a cyclic
+    /// [`vrdf_core::TaskGraph`] land exactly there) — mirroring how
+    /// `CondensedView` classifies sources and sinks.
+    ///
     /// # Errors
     ///
     /// [`SdfError::EmptyGraph`] or [`SdfError::AmbiguousEndpoint`].
@@ -479,10 +492,20 @@ impl CsdfGraph {
             ConstraintLocation::Sink => (&self.outputs, "sink"),
             ConstraintLocation::Source => (&self.inputs, "source"),
         };
-        let candidates: Vec<ActorId> = (0..self.actors.len())
+        let mut candidates: Vec<ActorId> = (0..self.actors.len())
             .filter(|&a| adjacency[a].is_empty())
             .map(ActorId)
             .collect();
+        if candidates.is_empty() {
+            candidates = (0..self.actors.len())
+                .filter(|&a| {
+                    adjacency[a]
+                        .iter()
+                        .all(|&c| self.channels[c.index()].initial_tokens > 0)
+                })
+                .map(ActorId)
+                .collect();
+        }
         match candidates.as_slice() {
             [one] => Ok(*one),
             _ => Err(SdfError::AmbiguousEndpoint {
@@ -1109,6 +1132,30 @@ mod tests {
             g.unique_source(),
             Err(SdfError::AmbiguousEndpoint { role: "source", .. })
         ));
+    }
+
+    #[test]
+    fn tokened_back_edges_do_not_hide_endpoints() {
+        // Cycle a -> b -> a where the return channel carries initial
+        // tokens: no actor is strictly channel-free, so the fallback
+        // discounts the tokened back-edge and finds both endpoints.
+        let mut g = CsdfGraph::new();
+        let a = g.add_actor("a", [Rational::ZERO]).unwrap();
+        let b = g.add_actor("b", [Rational::ZERO]).unwrap();
+        g.connect("fwd", a, b, [1], [1]).unwrap();
+        let back = g.connect("back", b, a, [1], [1]).unwrap();
+        g.set_initial_tokens(back, 4);
+        assert_eq!(g.unique_sink().unwrap(), b);
+        assert_eq!(g.unique_source().unwrap(), a);
+        // A strict endpoint always wins: tokens on a *forward* channel
+        // must not promote its producer to sink candidacy.
+        let mut h = CsdfGraph::new();
+        let p = h.add_actor("p", [Rational::ZERO]).unwrap();
+        let q = h.add_actor("q", [Rational::ZERO]).unwrap();
+        let fwd = h.connect("fwd", p, q, [1], [1]).unwrap();
+        h.set_initial_tokens(fwd, 3);
+        assert_eq!(h.unique_sink().unwrap(), q);
+        assert_eq!(h.unique_source().unwrap(), p);
     }
 
     #[test]

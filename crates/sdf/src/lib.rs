@@ -216,7 +216,7 @@ mod tests {
         // Structure: same tasks, same edges, same fork/join shape.
         assert_eq!(sdf.task_count(), 4);
         assert_eq!(sdf.buffer_count(), 4);
-        let dag = sdf.dag().unwrap();
+        let dag = sdf.condensed().unwrap();
         assert_eq!(dag.sources().len(), 1);
         assert_eq!(dag.sinks().len(), 1);
         assert_eq!(

@@ -692,6 +692,9 @@ pub struct SimPlan<'a> {
     consumer_pos: Vec<u32>,
     /// The graph's `ζ(b)` assignment, if set; per-run overrides win.
     default_capacity: Vec<Option<u64>>,
+    /// `δ0(b)` — full containers present before the first firing (zero
+    /// except on feedback edges).  Seeded into the fills at every reset.
+    initial_tokens: Vec<u64>,
     /// `BufferId::index()` → buffer-state index.
     buf_pos: Vec<u32>,
     /// Largest steady-state event delta (max response time, period) — the
@@ -748,7 +751,7 @@ impl<'a> SimPlan<'a> {
         config: SimConfig,
         fault_plan: Option<&FaultPlan>,
     ) -> Result<SimPlan<'a>, SimError> {
-        let dag = tg.dag().map_err(SimError::Analysis)?;
+        let dag = tg.condensed().map_err(SimError::Analysis)?;
 
         // One shared tick denominator for every time in the run.
         let offset_rat = match config.behavior {
@@ -809,12 +812,14 @@ impl<'a> SimPlan<'a> {
         let mut producer_pos = Vec::with_capacity(nb);
         let mut consumer_pos = Vec::with_capacity(nb);
         let mut default_capacity = Vec::with_capacity(nb);
+        let mut initial_tokens = Vec::with_capacity(nb);
         for &bid in dag.buffers() {
             let buffer = tg.buffer(bid);
             buffer_ids.push(bid);
             producer_pos.push(task_pos[buffer.producer().index()]);
             consumer_pos.push(task_pos[buffer.consumer().index()]);
             default_capacity.push(buffer.capacity());
+            initial_tokens.push(buffer.initial_tokens());
         }
 
         let nt = dag.tasks().len();
@@ -877,6 +882,7 @@ impl<'a> SimPlan<'a> {
             producer_pos,
             consumer_pos,
             default_capacity,
+            initial_tokens,
             buf_pos,
             wheel_hint,
             faults,
@@ -910,16 +916,24 @@ impl<'a> SimPlan<'a> {
         SimState::for_plan(self)
     }
 
-    /// Checks that every buffer has a default capacity, i.e. that
-    /// [`SimPlan::run`] without overrides can start.
+    /// Checks that every buffer has a default capacity large enough to
+    /// hold its initial tokens, i.e. that [`SimPlan::run`] without
+    /// overrides can start.
     ///
     /// # Errors
     ///
-    /// [`SimError::CapacityUnset`] naming the first bare buffer.
+    /// [`SimError::CapacityUnset`] naming the first bare buffer, or
+    /// [`SimError::InitialTokensExceedCapacity`] naming the first
+    /// feedback buffer whose pre-filled containers would not fit.
     pub fn require_capacities(&self) -> Result<(), SimError> {
         for (bi, capacity) in self.default_capacity.iter().enumerate() {
-            if capacity.is_none() {
+            let Some(capacity) = capacity else {
                 return Err(SimError::CapacityUnset {
+                    buffer: self.tg.buffer(self.buffer_ids[bi]).name().to_owned(),
+                });
+            };
+            if self.initial_tokens[bi] > *capacity {
+                return Err(SimError::InitialTokensExceedCapacity {
                     buffer: self.tg.buffer(self.buffer_ids[bi]).name().to_owned(),
                 });
             }
@@ -1137,9 +1151,19 @@ impl SimState {
             }
         }
 
-        self.tokens[..nb].fill(0);
-        self.space[..nb].copy_from_slice(&self.capacity[..nb]);
-        self.max_occupancy[..nb].fill(0);
+        // Buffers start holding their initial tokens (zero except on
+        // feedback edges), which occupy capacity from the first instant.
+        for bi in 0..nb {
+            let delta0 = plan.initial_tokens[bi];
+            if delta0 > self.capacity[bi] {
+                return Err(SimError::InitialTokensExceedCapacity {
+                    buffer: plan.tg.buffer(plan.buffer_ids[bi]).name().to_owned(),
+                });
+            }
+            self.tokens[bi] = delta0;
+            self.space[bi] = self.capacity[bi] - delta0;
+            self.max_occupancy[bi] = delta0;
+        }
         self.produced[..nb].fill(0);
         self.consumed[..nb].fill(0);
 
@@ -2040,5 +2064,62 @@ mod tests {
         .expect("rescaling must be rejected");
         assert!(matches!(err, SimError::TickOverflow { .. }));
         assert!(err.to_string().contains("tick"));
+    }
+
+    #[test]
+    fn event_queue_window_boundary_routes_wheel_vs_overflow() {
+        // Hint 100 → 128 buckets, mask 127; clear(0) arms the full
+        // window, so delta 127 is the last wheel-resident distance.
+        let mut queue = EventQueue::new(8, 100);
+        queue.clear(0);
+        // Exactly at the window edge: wheel.
+        queue.push(0, 127, 1, 0);
+        assert_eq!(queue.wheel_len, 1);
+        assert!(queue.overflow.is_empty());
+        // One before the edge: wheel.
+        queue.push(0, 126, 2, 1);
+        assert_eq!(queue.wheel_len, 2);
+        assert!(queue.overflow.is_empty());
+        // One past the edge: overflow heap.
+        queue.push(0, 128, 3, 2);
+        assert_eq!(queue.wheel_len, 2);
+        assert_eq!(queue.overflow.len(), 1);
+        // Behind `now` (the negative-offset initial release): overflow.
+        queue.push(10, 5, 4, 3);
+        assert_eq!(queue.overflow.len(), 2);
+        // Backward-jump slack shrinks the usable window by the jump.
+        queue.clear(10);
+        queue.push(0, 117, 5, 0);
+        queue.push(0, 118, 6, 1);
+        assert_eq!(queue.wheel_len, 1);
+        assert_eq!(queue.overflow.len(), 1);
+    }
+
+    #[test]
+    fn event_queue_drains_in_time_seq_order_across_the_window_edge() {
+        let mut queue = EventQueue::new(8, 100);
+        queue.clear(0);
+        // seq 1 lands past the window (overflow); the clock then advances
+        // and seqs 2–4 land on the wheel — at the same tick as the
+        // overflowed event, one tick before, and one tick after.
+        queue.push(0, 128, 1, 0);
+        queue.push(64, 128, 2, 1);
+        queue.push(64, 127, 3, 2);
+        queue.push(64, 129, 4, 3);
+        let mut drained = Vec::new();
+        let mut now = 64;
+        while let Some(t) = queue.next_time(now) {
+            now = t;
+            while queue.has_due(now) {
+                #[allow(clippy::expect_used)]
+                drained.push((now, queue.pop_due(now).expect("has_due")));
+            }
+        }
+        // (time, seq) service order, FIFO across wheel and heap at the
+        // shared tick 128: the overflowed seq-1 node drains before the
+        // wheel's seq-2 node.
+        assert_eq!(drained, vec![(127, 2), (128, 0), (128, 1), (129, 3)]);
+        assert_eq!(queue.wheel_len, 0);
+        assert!(queue.overflow.is_empty());
     }
 }

@@ -132,6 +132,15 @@ pub enum SimError {
         /// Human-readable description of the defect.
         detail: String,
     },
+    /// A buffer's initial tokens `δ0(b)` exceed its resolved capacity
+    /// `ζ(b)`: the pre-filled containers would not fit, so the initial
+    /// state is unrepresentable.  Feedback edges need
+    /// `ζ(b) ≥ δ0(b)` — the analysis sizes them as Eq. (4) plus the
+    /// initial-token footprint, which always satisfies this.
+    InitialTokensExceedCapacity {
+        /// The over-filled buffer.
+        buffer: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -161,6 +170,9 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidFault { detail } => {
                 write!(f, "invalid fault plan: {detail}")
+            }
+            SimError::InitialTokensExceedCapacity { buffer } => {
+                write!(f, "initial tokens of buffer `{buffer}` exceed its capacity")
             }
         }
     }

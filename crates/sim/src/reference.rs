@@ -119,7 +119,7 @@ impl<'a> ReferenceSimulator<'a> {
         plan: QuantumPlan,
         config: SimConfig,
     ) -> Result<ReferenceSimulator<'a>, SimError> {
-        let dag = tg.dag().map_err(SimError::Analysis)?;
+        let dag = tg.condensed().map_err(SimError::Analysis)?;
         plan.validate(tg)?;
 
         let mut task_pos = vec![0usize; tg.task_count()];
@@ -140,12 +140,20 @@ impl<'a> ReferenceSimulator<'a> {
             let capacity = buffer.capacity().ok_or_else(|| SimError::CapacityUnset {
                 buffer: buffer.name().to_owned(),
             })?;
+            // Initial tokens (zero except on feedback edges) occupy
+            // capacity from the first instant.
+            let delta0 = buffer.initial_tokens();
+            if delta0 > capacity {
+                return Err(SimError::InitialTokensExceedCapacity {
+                    buffer: buffer.name().to_owned(),
+                });
+            }
             buffers.push(BufState {
                 id: bid,
-                tokens: 0,
-                space: capacity,
+                tokens: delta0,
+                space: capacity - delta0,
                 capacity,
-                max_occupancy: 0,
+                max_occupancy: delta0,
                 produced: 0,
                 consumed: 0,
             });

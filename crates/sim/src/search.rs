@@ -106,8 +106,9 @@ pub struct EdgeMinimum {
     /// The smallest capacity that survived the battery (== `assigned`
     /// when Eq. (4) is operationally tight or the edge was excluded).
     pub minimal: u64,
-    /// The structural floor `max(π̂, γ̂)` below which a worst-case firing
-    /// cannot even fit in the buffer — never probed below.
+    /// The structural floor `max(π̂, γ̂, δ0)` below which a worst-case
+    /// firing cannot even fit in the buffer (or, on a feedback edge,
+    /// the pre-filled initial tokens would not) — never probed below.
     pub floor: u64,
     /// Probes spent on this edge across all passes.
     pub probes: u32,
@@ -323,13 +324,15 @@ pub fn minimize_capacities(
         .iter()
         .map(|c| {
             let buffer = tg.buffer(c.buffer);
-            // Below max(π̂, γ̂) a worst-case firing cannot fit at all;
-            // Eq. (4) always assigns at least π̂ + γ̂ − 1, so the clamp is
-            // belt and braces.
+            // Below max(π̂, γ̂) a worst-case firing cannot fit at all,
+            // and below δ0 a feedback edge's pre-filled containers
+            // would not; Eq. (4) assigns at least π̂ + γ̂ − 1 plus the
+            // initial tokens, so the clamp is belt and braces.
             let floor = buffer
                 .production()
                 .max()
                 .max(buffer.consumption().max())
+                .max(buffer.initial_tokens())
                 .min(c.capacity);
             EdgeMinimum {
                 buffer: c.buffer,

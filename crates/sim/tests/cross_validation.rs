@@ -11,7 +11,7 @@
 //!    capacities are always sufficient in simulation.
 
 use vrdf_apps::synthetic::{random_chain, ChainSpec};
-use vrdf_apps::{mp3_chain, mp3_constraint, MP3_PUBLISHED_CAPACITIES};
+use vrdf_apps::{mp3_chain, mp3_constraint, mp3_feedback, MP3_PUBLISHED_CAPACITIES};
 use vrdf_core::{compute_buffer_capacities, Rational};
 use vrdf_sim::{
     conservative_offset, measure_drift, validate_assigned_capacities, validate_capacities,
@@ -43,6 +43,73 @@ fn mp3_chain_sustains_periodicity_at_published_capacities() {
             scenario.name
         );
         assert_eq!(scenario.report.endpoint.max_lateness, Some(Rational::ZERO));
+    }
+}
+
+#[test]
+fn mp3_feedback_sustains_periodicity_with_initial_tokens() {
+    // The cyclic case study: the rate-control back-edge starts with
+    // delta0 credits and the analysis sizes it as Eq. (4) plus that
+    // footprint, so strict DAC periodicity survives every scenario —
+    // operational evidence that the initial tokens are adequate.
+    let tg = mp3_feedback();
+    let analysis = compute_buffer_capacities(&tg, mp3_constraint()).unwrap();
+    let report = validate_capacities(&tg, &analysis, &quick_options(20_000)).unwrap();
+    assert!(report.all_clear(), "{report}");
+    for scenario in &report.scenarios {
+        assert_eq!(
+            scenario.report.endpoint.firings, 20_000,
+            "{}",
+            scenario.name
+        );
+        assert_eq!(scenario.report.endpoint.max_lateness, Some(Rational::ZERO));
+    }
+}
+
+#[test]
+fn variable_rate_cycle_wedges_for_any_initial_tokens() {
+    // The boundary of the guarantee: route the credit loop around the
+    // *variable-rate* d1 (vSRC grants credits to vBR, the cycle spans
+    // d1 with γ ∈ [0, 960]) and the const-min scenario wedges it — the
+    // decoder drawing γ̌ = 0 forever never drains d1, vBR blocks on d1
+    // space after two firings, the credits stop recycling, fb fills,
+    // vSRC blocks, and the DAC starves.  Raising δ0 only delays the
+    // wedge (fb's net space above δ0 is the fixed Eq. (4) term), so the
+    // sufficiency guarantee genuinely does not extend to cycles that
+    // span a variable-rate edge.
+    use vrdf_core::QuantumSet;
+    for delta0 in [128u64, 1024, 8192] {
+        let mut tg = mp3_chain();
+        let src = tg.task_by_name("vSRC").unwrap();
+        let vbr = tg.task_by_name("vBR").unwrap();
+        // 25 credits per 10 ms vSRC firing vs 128 per 51.2 ms vBR
+        // firing: 2.5 credits/ms on both sides, so the *analysis* is
+        // perfectly happy — the failure is operational, not a rate
+        // imbalance.
+        tg.connect_feedback(
+            "fb",
+            src,
+            vbr,
+            QuantumSet::constant(25),
+            QuantumSet::constant(128),
+            delta0,
+        )
+        .unwrap();
+        let analysis = compute_buffer_capacities(&tg, mp3_constraint()).unwrap();
+        let report = validate_capacities(&tg, &analysis, &quick_options(20_000)).unwrap();
+        assert!(
+            !report.all_clear(),
+            "δ0 = {delta0}: a cycle spanning the variable-rate d1 \
+             should wedge under const-min\n{report}"
+        );
+        let failed: Vec<&str> = report
+            .failures()
+            .map(|scenario| scenario.name.as_str())
+            .collect();
+        assert!(
+            failed.contains(&"const-min"),
+            "δ0 = {delta0}: expected the const-min scenario to fail, got {failed:?}"
+        );
     }
 }
 

@@ -11,7 +11,7 @@
 //!    seeded-random quantum scenarios, in both self-timed and strictly
 //!    periodic modes, including under-provisioned runs that end in
 //!    deadline misses or deadlock.
-//! 2. **DagView vs ChainView analysis path**: on every linear graph the
+//! 2. **CondensedView vs ChainView analysis path**: on every linear graph the
 //!    general DAG analysis (`compute_buffer_capacities`, topological
 //!    propagation with binding minima) must be bit-identical to the
 //!    retained chain walk (`compute_buffer_capacities_via_chain`) —
@@ -21,10 +21,10 @@
 use vrdf_apps::synthetic::{
     fork_join_of, random_chain, random_chain_of_length, random_dag, ChainSpec, DagSpec,
 };
-use vrdf_apps::{mp3_chain, mp3_constraint, mp3_fork_join};
+use vrdf_apps::{mp3_chain, mp3_constraint, mp3_feedback, mp3_fork_join};
 use vrdf_core::{
     compute_buffer_capacities, compute_buffer_capacities_via_chain, AnalysisOptions,
-    ConstrainedRelease, Rational, TaskGraph, ThroughputConstraint,
+    ConstrainedRelease, QuantumSet, Rational, TaskGraph, ThroughputConstraint,
 };
 use vrdf_sim::{
     conservative_offset, minimize_capacities, QuantumPlan, QuantumPolicy, ReferenceSimulator,
@@ -290,7 +290,7 @@ fn dag_analysis_path_is_identical_to_chain_path_on_linear_graphs() {
         assert_analysis_identical(&tg, constraint, &format!("random chain seed {seed}"));
     }
     // A chain inserted sink-first: the two paths must agree positionally
-    // (DagView orders buffers by producer topo position, not insertion).
+    // (CondensedView orders buffers by producer topo position, not insertion).
     let mut permuted = TaskGraph::new();
     let snk = permuted.add_task("snk", Rational::ONE).unwrap();
     let mid = permuted.add_task("mid", Rational::ONE).unwrap();
@@ -413,6 +413,127 @@ fn random_dag_battery_is_identical_across_engines() {
             );
         }
     }
+}
+
+#[test]
+fn cyclic_dag_battery_is_identical_across_engines() {
+    // Feedback edges seed δ0 full containers at reset in both engines;
+    // on the cyclic corpus the traces must stay bit-identical the same
+    // way they do on the acyclic one.
+    let spec = DagSpec {
+        feedback_headroom: Some(2),
+        ..DagSpec::default()
+    };
+    for seed in 0..12 {
+        let (tg, constraint) = random_dag(seed, &spec).unwrap();
+        let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
+        let offset = conservative_offset(&tg, &analysis).expect("offset fits");
+        let mut sized = tg.clone();
+        analysis.apply(&mut sized);
+
+        for (name, plan) in scenario_plans(seed ^ 0xC1C) {
+            let mut config = SimConfig::periodic(constraint, offset);
+            config.max_endpoint_firings = 250;
+            config.trace = TraceLevel::All;
+            config.max_events = 2_000_000;
+            run_both(
+                &sized,
+                &plan,
+                &config,
+                &format!("cyclic dag {seed} periodic {name}"),
+            );
+
+            let mut config = SimConfig::self_timed(constraint);
+            config.max_endpoint_firings = 250;
+            config.trace = TraceLevel::All;
+            config.max_events = 2_000_000;
+            run_both(
+                &sized,
+                &plan,
+                &config,
+                &format!("cyclic dag {seed} self-timed {name}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn mp3_feedback_is_identical_across_engines() {
+    let tg = mp3_feedback();
+    let constraint = mp3_constraint();
+    let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
+    let offset = conservative_offset(&tg, &analysis).expect("offset fits");
+    let mut sized = tg.clone();
+    analysis.apply(&mut sized);
+
+    for (name, plan) in scenario_plans(0xFBED) {
+        let mut config = SimConfig::periodic(constraint, offset);
+        config.max_endpoint_firings = 2_000;
+        config.trace = TraceLevel::Endpoint;
+        run_both(
+            &sized,
+            &plan,
+            &config,
+            &format!("mp3-feedback periodic {name}"),
+        );
+
+        let mut config = SimConfig::self_timed(constraint);
+        config.max_endpoint_firings = 2_000;
+        config.trace = TraceLevel::All;
+        run_both(
+            &sized,
+            &plan,
+            &config,
+            &format!("mp3-feedback self-timed {name}"),
+        );
+    }
+}
+
+#[test]
+fn under_tokened_cycle_deadlocks_identically_across_engines() {
+    // δ0 = 2 credits but the loop's head needs 4 per firing: nothing can
+    // ever fire.  The analysis accepts the graph (the rates are
+    // balanced); the wedge is operational, and both engines must report
+    // the identical immediate deadlock.
+    let mut tg = TaskGraph::new();
+    let a = tg.add_task("a", Rational::ONE).unwrap();
+    let b = tg.add_task("b", Rational::ONE).unwrap();
+    tg.connect("ab", a, b, QuantumSet::constant(4), QuantumSet::constant(4))
+        .unwrap();
+    tg.connect_feedback(
+        "ba",
+        b,
+        a,
+        QuantumSet::constant(4),
+        QuantumSet::constant(4),
+        2,
+    )
+    .unwrap();
+    let constraint = ThroughputConstraint::on_sink(Rational::from(8u64)).unwrap();
+    let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
+    let mut sized = tg.clone();
+    analysis.apply(&mut sized);
+
+    let mut config = SimConfig::self_timed(constraint);
+    config.max_endpoint_firings = 10;
+    run_both(
+        &sized,
+        &QuantumPlan::uniform(QuantumPolicy::Max),
+        &config,
+        "under-tokened cycle",
+    );
+    let report = Simulator::new(
+        &sized,
+        QuantumPlan::uniform(QuantumPolicy::Max),
+        config.clone(),
+    )
+    .unwrap()
+    .run();
+    assert!(
+        matches!(report.outcome, vrdf_sim::SimOutcome::Deadlock { .. }),
+        "expected a deadlock, got {:?}",
+        report.outcome
+    );
 }
 
 #[test]

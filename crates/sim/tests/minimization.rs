@@ -7,7 +7,7 @@
 //! strict DAC periodicity, and the whole verdict must not depend on how
 //! many worker threads the scenario battery fans out over.
 
-use vrdf_apps::{mp3_chain, mp3_constraint};
+use vrdf_apps::{mp3_chain, mp3_constraint, mp3_feedback, MP3_FEEDBACK_INITIAL_TOKENS};
 use vrdf_core::compute_buffer_capacities;
 use vrdf_sim::{
     minimize_capacities, validate_assigned_capacities, SearchOptions, ValidationOptions,
@@ -73,6 +73,32 @@ fn mp3_driver_lands_on_d3_881_and_880_violates() {
                 vrdf_sim::SimOutcome::Completed | vrdf_sim::SimOutcome::HorizonReached
             ),
         "{starved}"
+    );
+}
+
+#[test]
+fn feedback_edge_search_floors_at_its_initial_tokens() {
+    // A feedback buffer can never be probed below δ0 — the pre-filled
+    // containers would not fit, so such a capacity is unrepresentable,
+    // not merely insufficient.  The search must clamp its floor there
+    // instead of erroring out mid-probe.
+    let tg = mp3_feedback();
+    let analysis = compute_buffer_capacities(&tg, mp3_constraint()).unwrap();
+    let fb = tg.buffer_by_name("fb").unwrap();
+    let mut opts = search_options(2_000, 1);
+    opts.buffers = Some(vec![fb]);
+
+    let report = minimize_capacities(&tg, &analysis, &opts).unwrap();
+    assert!(report.baseline_clear, "{report}");
+    let edge = report.minimum_of(fb).unwrap();
+    assert_eq!(
+        edge.floor, MP3_FEEDBACK_INITIAL_TOKENS,
+        "δ0 dominates the fb floor (π̂ = 5, γ̂ = 12)"
+    );
+    assert!(
+        edge.minimal >= MP3_FEEDBACK_INITIAL_TOKENS,
+        "minimal {} probed below the initial tokens\n{report}",
+        edge.minimal
     );
 }
 

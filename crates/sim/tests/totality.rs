@@ -64,6 +64,80 @@ fn corpus() -> Vec<Pathology> {
         analysable: false,
     });
 
+    // A declared feedback edge with zero initial tokens: the cycle is
+    // never broken, so the analysis must refuse with `UnbrokenCycle`.
+    let mut tg = TaskGraph::new();
+    let a = tg.add_task("a", rat(1, 1)).expect("task");
+    let b = tg.add_task("b", rat(1, 1)).expect("task");
+    tg.connect("ab", a, b, QuantumSet::constant(1), QuantumSet::constant(1))
+        .expect("buffer");
+    tg.connect_feedback(
+        "ba",
+        b,
+        a,
+        QuantumSet::constant(1),
+        QuantumSet::constant(1),
+        0,
+    )
+    .expect("buffer");
+    out.push(Pathology {
+        name: "zero-token-feedback",
+        tg,
+        constraint: constraint(),
+        analysable: false,
+    });
+
+    // The same loop with the cycle properly broken by initial tokens:
+    // a legal cyclic graph, the whole pipeline must run through.
+    let mut tg = TaskGraph::new();
+    let a = tg.add_task("a", rat(1, 1)).expect("task");
+    let b = tg.add_task("b", rat(1, 1)).expect("task");
+    tg.connect("ab", a, b, QuantumSet::constant(1), QuantumSet::constant(1))
+        .expect("buffer");
+    tg.connect_feedback(
+        "ba",
+        b,
+        a,
+        QuantumSet::constant(1),
+        QuantumSet::constant(1),
+        4,
+    )
+    .expect("buffer");
+    out.push(Pathology {
+        name: "tokened-feedback",
+        tg,
+        constraint: constraint(),
+        analysable: true,
+    });
+
+    // A rate-deficient feedback edge strictly upstream of the sink: the
+    // loop's head consumes two credits for every one the tail returns,
+    // so the relaxation cannot converge — a typed `UnbrokenCycle`, not
+    // an infinite loop.
+    let mut tg = TaskGraph::new();
+    let a = tg.add_task("a", rat(1, 1)).expect("task");
+    let b = tg.add_task("b", rat(1, 1)).expect("task");
+    let c = tg.add_task("c", rat(1, 1)).expect("task");
+    tg.connect("ab", a, b, QuantumSet::constant(1), QuantumSet::constant(1))
+        .expect("buffer");
+    tg.connect("bc", b, c, QuantumSet::constant(1), QuantumSet::constant(1))
+        .expect("buffer");
+    tg.connect_feedback(
+        "ba",
+        b,
+        a,
+        QuantumSet::constant(1),
+        QuantumSet::constant(2),
+        4,
+    )
+    .expect("buffer");
+    out.push(Pathology {
+        name: "rate-deficient-feedback",
+        tg,
+        constraint: constraint(),
+        analysable: false,
+    });
+
     // An orphan task disconnected from the chain.
     let mut tg = TaskGraph::new();
     let a = tg.add_task("a", rat(1, 1)).expect("task");
@@ -297,6 +371,56 @@ fn zero_capacities_deadlock_instead_of_erroring() {
             "{engine}: zero capacity must deadlock, got {outcome:?}"
         );
     }
+}
+
+#[test]
+fn overfilled_feedback_edge_is_a_typed_sim_error() {
+    // Forcing a feedback buffer's capacity below its initial tokens is
+    // unrepresentable — the pre-filled containers would not fit.  Both
+    // engines must refuse at construction with the typed error, never
+    // panic mid-run.
+    let mut tg = TaskGraph::new();
+    let a = tg.add_task("a", rat(1, 1)).expect("task");
+    let b = tg.add_task("b", rat(1, 1)).expect("task");
+    tg.connect("ab", a, b, QuantumSet::constant(1), QuantumSet::constant(1))
+        .expect("buffer");
+    let ba = tg
+        .connect_feedback(
+            "ba",
+            b,
+            a,
+            QuantumSet::constant(1),
+            QuantumSet::constant(1),
+            4,
+        )
+        .expect("buffer");
+    let analysis = compute_buffer_capacities(&tg, constraint()).expect("analysable");
+    let mut sized = tg.clone();
+    analysis.apply(&mut sized);
+    sized.set_capacity(ba, 2); // below δ0 = 4
+    let mut config = SimConfig::self_timed(constraint());
+    config.max_endpoint_firings = 20;
+    let tick = Simulator::new(
+        &sized,
+        QuantumPlan::uniform(QuantumPolicy::Max),
+        config.clone(),
+    );
+    assert!(
+        matches!(
+            tick,
+            Err(vrdf_sim::SimError::InitialTokensExceedCapacity { ref buffer }) if buffer == "ba"
+        ),
+        "tick engine accepted an over-filled feedback buffer"
+    );
+    let reference =
+        ReferenceSimulator::new(&sized, QuantumPlan::uniform(QuantumPolicy::Max), config);
+    assert!(
+        matches!(
+            reference,
+            Err(vrdf_sim::SimError::InitialTokensExceedCapacity { ref buffer }) if buffer == "ba"
+        ),
+        "reference engine accepted an over-filled feedback buffer"
+    );
 }
 
 #[test]
