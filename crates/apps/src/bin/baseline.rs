@@ -8,59 +8,73 @@
 //! $ cargo run --release -p vrdf-apps --bin baseline
 //! $ cargo run --release -p vrdf-apps --bin baseline -- --graph fork-join
 //! $ cargo run --release -p vrdf-apps --bin baseline -- --minimize
+//! $ cargo run --release -p vrdf-apps --bin baseline -- --batch 64 --jobs 4
 //! ```
 //!
 //! `--minimize` additionally searches the operational SDF floor (minimal
 //! per-channel capacities whose self-timed steady state still meets the
-//! throughput constraint).
+//! throughput constraint).  `--batch N` switches to fleet mode: the
+//! VRDF-vs-SDF table is computed for every graph of an N-graph synthetic
+//! corpus on a shared worker pool (`--jobs` workers; `--threads` is an
+//! alias, kept so all drivers share the same flag surface).
 //!
 //! Exits non-zero when a case study with published capacities does not
 //! reproduce them, or when the sized lowering fails its own steady-state
-//! check.
+//! check, or in fleet mode when any graph's table fails to compute.
 
-use vrdf_apps::{case_study, CASE_STUDY_NAMES};
+use vrdf_apps::{case_study, cli, fleet_corpus, CASE_STUDY_NAMES};
 use vrdf_core::compute_buffer_capacities;
 use vrdf_sdf::{
     analyze, baseline_capacities, minimize_sdf_capacities, steady_state, CsdfGraph, ExecOptions,
     ExecOutcome, SdfSearchOptions,
 };
-
-fn parse<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
-    match value.as_deref().map(str::parse) {
-        Some(Ok(v)) => v,
-        Some(Err(_)) => {
-            eprintln!(
-                "error: {flag} got a malformed value {:?}",
-                value.as_deref().unwrap_or_default()
-            );
-            std::process::exit(2);
-        }
-        None => {
-            eprintln!("error: {flag} requires a value");
-            std::process::exit(2);
-        }
-    }
-}
+use vrdf_sim::{run_fleet, FleetJob, FleetOptions};
 
 fn main() {
     let mut graph = "mp3".to_owned();
     let mut minimize = false;
     let mut exec = ExecOptions::default();
+    let mut batch = 0usize;
+    let mut jobs = 0usize;
+    let mut seed = 1u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--graph" => graph = parse(args.next(), "--graph"),
+            "--graph" => graph = cli::parse(args.next(), "--graph"),
             "--minimize" => minimize = true,
-            "--max-events" => exec.max_events = parse(args.next(), "--max-events"),
-            other => {
-                eprintln!("error: unknown argument `{other}`");
-                eprintln!(
-                    "usage: baseline [--graph {}] [--minimize] [--max-events N]",
+            "--max-events" => exec.max_events = cli::parse(args.next(), "--max-events"),
+            "--batch" => batch = cli::parse(args.next(), "--batch"),
+            "--jobs" => jobs = cli::parse(args.next(), "--jobs"),
+            "--threads" => jobs = cli::parse(args.next(), "--threads"),
+            "--seed" => seed = cli::parse(args.next(), "--seed"),
+            other => cli::usage_error(
+                &format!("unknown argument `{other}`"),
+                &format!(
+                    "usage: baseline [--graph {}] [--minimize] [--max-events N] \
+                     [--batch N] [--jobs W] [--threads W] [--seed S]",
                     CASE_STUDY_NAMES.join("|")
-                );
-                std::process::exit(2);
-            }
+                ),
+            ),
         }
+    }
+
+    if batch > 0 {
+        let fleet = FleetOptions {
+            job: FleetJob::Baseline,
+            workers: jobs,
+            ..FleetOptions::default()
+        };
+        let corpus = fleet_corpus(seed, batch).unwrap_or_else(|e| {
+            eprintln!("error: corpus generation failed: {e}");
+            std::process::exit(1);
+        });
+        let report = run_fleet(&corpus, &fleet);
+        print!("{report}");
+        if !report.all_ok() {
+            eprintln!("error: not every graph's baseline table computed");
+            std::process::exit(1);
+        }
+        return;
     }
 
     let Some(study) = case_study(&graph) else {

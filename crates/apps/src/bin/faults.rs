@@ -19,30 +19,13 @@
 //! Exits non-zero when the zero-fault Eq. (4) baseline itself fails
 //! validation — that would make every recovery verdict vacuous.
 
-use vrdf_apps::{case_study, CASE_STUDY_NAMES};
+use vrdf_apps::{case_study, cli, CASE_STUDY_NAMES};
 use vrdf_core::{compute_buffer_capacities, Rational};
 use vrdf_sim::{
     conservative_offset, validate_assigned_capacities_under_faults, validate_capacities,
     validate_capacities_under_faults, FaultPlan, FaultValidationOptions, FaultValidationReport,
     ValidationOptions,
 };
-
-fn parse<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
-    match value.as_deref().map(str::parse) {
-        Some(Ok(v)) => v,
-        Some(Err(_)) => {
-            eprintln!(
-                "error: {flag} got a malformed value {:?}",
-                value.as_deref().unwrap_or_default()
-            );
-            std::process::exit(2);
-        }
-        None => {
-            eprintln!("error: {flag} requires a value");
-            std::process::exit(2);
-        }
-    }
-}
 
 fn print_battery(header: &str, report: &FaultValidationReport) {
     println!("{header}");
@@ -70,27 +53,28 @@ fn main() {
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--graph" => graph = parse(args.next(), "--graph"),
-            "--firings" => opts.validation.endpoint_firings = parse(args.next(), "--firings"),
-            "--random-runs" => opts.validation.random_runs = parse(args.next(), "--random-runs"),
-            "--threads" => opts.validation.threads = parse(args.next(), "--threads"),
-            "--recovery-firings" => {
-                opts.recovery_firings = parse(args.next(), "--recovery-firings")
+            "--graph" => graph = cli::parse(args.next(), "--graph"),
+            "--firings" => opts.validation.endpoint_firings = cli::parse(args.next(), "--firings"),
+            "--random-runs" => {
+                opts.validation.random_runs = cli::parse(args.next(), "--random-runs")
             }
-            "--stall-task" => stall_task = Some(parse(args.next(), "--stall-task")),
-            "--stall-firing" => stall_firing = parse(args.next(), "--stall-firing"),
-            "--stall-ms" => stall_ms = parse(args.next(), "--stall-ms"),
-            "--headroom" => headroom = parse(args.next(), "--headroom"),
-            other => {
-                eprintln!("error: unknown argument `{other}`");
-                eprintln!(
+            "--threads" => opts.validation.threads = cli::parse(args.next(), "--threads"),
+            "--recovery-firings" => {
+                opts.recovery_firings = cli::parse(args.next(), "--recovery-firings")
+            }
+            "--stall-task" => stall_task = Some(cli::parse(args.next(), "--stall-task")),
+            "--stall-firing" => stall_firing = cli::parse(args.next(), "--stall-firing"),
+            "--stall-ms" => stall_ms = cli::parse(args.next(), "--stall-ms"),
+            "--headroom" => headroom = cli::parse(args.next(), "--headroom"),
+            other => cli::usage_error(
+                &format!("unknown argument `{other}`"),
+                &format!(
                     "usage: faults [--graph {}] [--firings N] [--random-runs N] \
                      [--threads N] [--recovery-firings K] [--stall-task NAME] \
                      [--stall-firing N] [--stall-ms N] [--headroom N]",
                     CASE_STUDY_NAMES.join("|")
-                );
-                std::process::exit(2);
-            }
+                ),
+            ),
         }
     }
 

@@ -1,0 +1,67 @@
+//! Fleet-scale batch analysis over a synthetic corpus: runs one job —
+//! `validate` (default), `minimize`, or `baseline` — for every graph of
+//! a mixed chain / fork-join / DAG / cyclic corpus on a shared worker
+//! pool, then prints the merged per-graph report with graphs/sec and
+//! p95 per-graph latency.
+//!
+//! ```console
+//! $ cargo run --release -p vrdf-apps --bin fleet
+//! $ cargo run --release -p vrdf-apps --bin fleet -- --batch 128 --jobs 4
+//! $ cargo run --release -p vrdf-apps --bin fleet -- --job minimize --batch 32
+//! ```
+//!
+//! The merged report is bit-identical for every `--jobs` value
+//! (including the default `0` = available parallelism): workers tag
+//! results with the corpus index and the merge re-sorts by index.
+//! Inside the fleet each graph's scenario battery runs single-threaded —
+//! the pool owns the cores.
+//!
+//! Exits non-zero when any graph's job fails, errors, panics, or is
+//! skipped by `--wall-clock-ms`.
+
+use vrdf_apps::{cli, fleet_corpus};
+use vrdf_sim::{run_fleet, FleetOptions};
+
+const USAGE: &str = "usage: fleet [--job validate|minimize|baseline] [--batch N] [--seed S] \
+                     [--jobs W] [--firings N] [--random-runs N] [--wall-clock-ms N]";
+
+fn main() {
+    let mut opts = FleetOptions::default();
+    opts.validation.endpoint_firings = 2_000;
+    opts.validation.random_runs = 2;
+    let mut batch = 64usize;
+    let mut seed = 1u64;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--job" => opts.job = cli::parse(args.next(), "--job"),
+            "--batch" => batch = cli::parse(args.next(), "--batch"),
+            "--seed" => seed = cli::parse(args.next(), "--seed"),
+            "--jobs" => opts.workers = cli::parse(args.next(), "--jobs"),
+            "--firings" => opts.validation.endpoint_firings = cli::parse(args.next(), "--firings"),
+            "--random-runs" => {
+                opts.validation.random_runs = cli::parse(args.next(), "--random-runs")
+            }
+            "--wall-clock-ms" => {
+                let ms: u64 = cli::parse(args.next(), "--wall-clock-ms");
+                opts.wall_clock = Some(std::time::Duration::from_millis(ms));
+            }
+            other => cli::usage_error(&format!("unknown argument `{other}`"), USAGE),
+        }
+    }
+
+    let corpus = fleet_corpus(seed, batch).unwrap_or_else(|e| {
+        eprintln!("error: corpus generation failed: {e}");
+        std::process::exit(1);
+    });
+    let report = run_fleet(&corpus, &opts);
+    print!("{report}");
+    if !report.all_ok() {
+        eprintln!(
+            "error: {} of {} graphs did not come back clean",
+            report.results.len() - report.results.iter().filter(|r| r.outcome.ok()).count(),
+            report.results.len()
+        );
+        std::process::exit(1);
+    }
+}

@@ -6,59 +6,79 @@
 //! $ cargo run --release -p vrdf-apps --bin minimize
 //! $ cargo run --release -p vrdf-apps --bin minimize -- --graph fork-join
 //! $ cargo run --release -p vrdf-apps --bin minimize -- --firings 60000 --random-runs 8
+//! $ cargo run --release -p vrdf-apps --bin minimize -- --batch 32 --jobs 4
 //! ```
 //!
 //! `--graph mp3` (default) searches the paper's MP3 playback chain;
 //! `--graph fork-join` searches the stereo demux → per-channel decoders
 //! → mux variant, the first workload past the chain restriction.
+//! `--batch N` switches to fleet mode: batch minimization over an
+//! N-graph synthetic corpus on a shared worker pool (`--jobs` workers,
+//! batteries forced single-threaded — the pool owns the cores).
 //!
 //! Exits non-zero when the Eq. (4) baseline itself fails validation
-//! (which would make every reported minimum vacuous).
+//! (which would make every reported minimum vacuous), or in fleet mode
+//! when any graph's search does not come back clean.
 
-use vrdf_apps::{case_study, CASE_STUDY_NAMES};
+use vrdf_apps::{case_study, cli, fleet_corpus, CASE_STUDY_NAMES};
 use vrdf_core::compute_buffer_capacities;
-use vrdf_sim::{minimize_capacities, SearchOptions};
-
-fn parse<T: std::str::FromStr>(value: Option<String>, flag: &str) -> T {
-    match value.as_deref().map(str::parse) {
-        Some(Ok(v)) => v,
-        Some(Err(_)) => {
-            eprintln!(
-                "error: {flag} got a malformed value {:?}",
-                value.as_deref().unwrap_or_default()
-            );
-            std::process::exit(2);
-        }
-        None => {
-            eprintln!("error: {flag} requires a value");
-            std::process::exit(2);
-        }
-    }
-}
+use vrdf_sim::{minimize_capacities, run_fleet, FleetJob, FleetOptions, SearchOptions};
 
 fn main() {
     let mut opts = SearchOptions::default();
-    opts.validation.endpoint_firings = 30_000;
+    let mut firings: Option<u64> = None;
     let mut graph = "mp3".to_owned();
+    let mut batch = 0usize;
+    let mut jobs = 0usize;
+    let mut seed = 1u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--graph" => graph = parse(args.next(), "--graph"),
-            "--firings" => opts.validation.endpoint_firings = parse(args.next(), "--firings"),
-            "--random-runs" => opts.validation.random_runs = parse(args.next(), "--random-runs"),
-            "--threads" => opts.validation.threads = parse(args.next(), "--threads"),
-            other => {
-                eprintln!("error: unknown argument `{other}`");
-                eprintln!(
-                    "usage: minimize [--graph {}] [--firings N] \
-                     [--random-runs N] [--threads N]",
-                    CASE_STUDY_NAMES.join("|")
-                );
-                std::process::exit(2);
+            "--graph" => graph = cli::parse(args.next(), "--graph"),
+            "--firings" => firings = Some(cli::parse(args.next(), "--firings")),
+            "--random-runs" => {
+                opts.validation.random_runs = cli::parse(args.next(), "--random-runs")
             }
+            "--threads" => opts.validation.threads = cli::parse(args.next(), "--threads"),
+            "--batch" => batch = cli::parse(args.next(), "--batch"),
+            "--jobs" => jobs = cli::parse(args.next(), "--jobs"),
+            "--seed" => seed = cli::parse(args.next(), "--seed"),
+            other => cli::usage_error(
+                &format!("unknown argument `{other}`"),
+                &format!(
+                    "usage: minimize [--graph {}] [--firings N] [--random-runs N] \
+                     [--threads N] [--batch N] [--jobs W] [--seed S]",
+                    CASE_STUDY_NAMES.join("|")
+                ),
+            ),
         }
     }
 
+    if batch > 0 {
+        // Fleet mode: per-graph searches are much cheaper than the case
+        // studies, so the default battery is shorter.
+        opts.validation.endpoint_firings = firings.unwrap_or(2_000);
+        let fleet = FleetOptions {
+            job: FleetJob::Minimize,
+            workers: jobs,
+            validation: opts.validation.clone(),
+            budget: opts.budget,
+            wall_clock: None,
+        };
+        let corpus = fleet_corpus(seed, batch).unwrap_or_else(|e| {
+            eprintln!("error: corpus generation failed: {e}");
+            std::process::exit(1);
+        });
+        let report = run_fleet(&corpus, &fleet);
+        print!("{report}");
+        if !report.all_ok() {
+            eprintln!("error: not every graph's search came back clean");
+            std::process::exit(1);
+        }
+        return;
+    }
+
+    opts.validation.endpoint_firings = firings.unwrap_or(30_000);
     let Some(study) = case_study(&graph) else {
         eprintln!(
             "error: unknown graph `{graph}` (expected one of: {})",

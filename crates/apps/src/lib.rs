@@ -778,6 +778,100 @@ pub mod synthetic {
     }
 }
 
+/// Shared command-line plumbing for the driver binaries (`minimize`,
+/// `baseline`, `faults`, `fleet`): one flag-value parser and one
+/// usage-error path with uniform reporting, instead of a hand-rolled
+/// copy per binary.
+pub mod cli {
+    use std::str::FromStr;
+
+    /// Parses the value of `flag`, exiting the process with status 2 and
+    /// a uniform `error:` line when the value is missing or malformed.
+    /// Drivers pass the iterator's next element directly:
+    /// `opts.threads = cli::parse(args.next(), "--threads")`.
+    pub fn parse<T: FromStr>(value: Option<String>, flag: &str) -> T {
+        match value.as_deref().map(str::parse) {
+            Some(Ok(v)) => v,
+            Some(Err(_)) => {
+                eprintln!(
+                    "error: {flag} got a malformed value {:?}",
+                    value.as_deref().unwrap_or_default()
+                );
+                std::process::exit(2);
+            }
+            None => {
+                eprintln!("error: {flag} requires a value");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Prints `error: <message>` followed by the usage line, then exits
+    /// with status 2 — the uniform unknown-argument path.
+    pub fn usage_error(message: &str, usage: &str) -> ! {
+        eprintln!("error: {message}");
+        eprintln!("{usage}");
+        std::process::exit(2);
+    }
+}
+
+/// A mixed synthetic corpus for the fleet drivers and benches: random
+/// chains, fixed-shape fork/joins, random DAGs, and cyclic
+/// (feedback-edge) graphs in round-robin order, every member generated
+/// on a bounded response-time grid so the tick engine accepts it.
+/// Deterministic in `(seed, count)`.
+///
+/// # Errors
+///
+/// Propagates [`AnalysisError`] from the generators (none of the specs
+/// used here produce infeasible graphs in practice).
+pub fn fleet_corpus(seed: u64, count: usize) -> Result<Vec<vrdf_sim::FleetItem>, AnalysisError> {
+    let chain_spec = synthetic::ChainSpec {
+        rho_grid_subdivision: Some(1024),
+        ..synthetic::ChainSpec::default()
+    };
+    let dag_spec = synthetic::DagSpec {
+        rho_grid_subdivision: Some(1024),
+        ..synthetic::DagSpec::default()
+    };
+    let cyclic_spec = synthetic::DagSpec {
+        feedback_headroom: Some(2),
+        ..dag_spec.clone()
+    };
+    let chain_lens = [4usize, 6, 9, 13];
+    let fork_shapes = [(2usize, 2usize), (3, 2), (2, 4), (4, 3)];
+
+    let mut corpus = Vec::with_capacity(count);
+    for i in 0..count {
+        let seed = seed.wrapping_add(i as u64);
+        let variant = i / 4 % 4;
+        let (name, (graph, constraint)) = match i % 4 {
+            0 => (
+                format!("chain-{i}"),
+                synthetic::random_chain_of_length(seed, chain_lens[variant], &chain_spec)?,
+            ),
+            1 => {
+                let (width, depth) = fork_shapes[variant];
+                (
+                    format!("forkjoin-{i}"),
+                    synthetic::fork_join_of(seed, width, depth, &dag_spec)?,
+                )
+            }
+            2 => (format!("dag-{i}"), synthetic::random_dag(seed, &dag_spec)?),
+            _ => (
+                format!("cyclic-{i}"),
+                synthetic::random_dag(seed, &cyclic_spec)?,
+            ),
+        };
+        corpus.push(vrdf_sim::FleetItem {
+            name,
+            graph,
+            constraint,
+        });
+    }
+    Ok(corpus)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -789,6 +883,26 @@ mod tests {
         let analysis = compute_buffer_capacities(&tg, mp3_constraint()).unwrap();
         let caps: Vec<u64> = analysis.capacities().iter().map(|c| c.capacity).collect();
         assert_eq!(caps, MP3_PUBLISHED_CAPACITIES);
+    }
+
+    #[test]
+    fn fleet_corpus_is_deterministic_and_mixed() {
+        let a = fleet_corpus(7, 16).unwrap();
+        let b = fleet_corpus(7, 16).unwrap();
+        assert_eq!(a.len(), 16);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.graph.task_count(), y.graph.task_count());
+        }
+        // Round-robin over the four families, and every member feasible.
+        assert!(a[0].name.starts_with("chain-"));
+        assert!(a[1].name.starts_with("forkjoin-"));
+        assert!(a[2].name.starts_with("dag-"));
+        assert!(a[3].name.starts_with("cyclic-"));
+        for item in &a {
+            compute_buffer_capacities(&item.graph, item.constraint)
+                .unwrap_or_else(|e| panic!("{} infeasible: {e}", item.name));
+        }
     }
 
     #[test]

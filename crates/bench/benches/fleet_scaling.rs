@@ -1,0 +1,99 @@
+//! Fleet throughput over a corpus size × worker grid: graphs/sec and
+//! p95 per-graph latency of [`vrdf_sim::run_fleet`] running the
+//! validate job over the mixed synthetic corpus
+//! ([`vrdf_apps::fleet_corpus`]).
+//!
+//! The scaling-efficiency summary is normalized honestly against the
+//! hardware: ideal speedup at `w` workers is `min(w, cores)` where
+//! `cores` is the machine's available parallelism, so
+//! `efficiency = (gps_w / gps_1) / min(w, cores)`.  On a multi-core box
+//! this measures real parallel scaling; on a constrained single-core
+//! runner it measures that oversubscribing workers costs nothing (the
+//! pool adds no overhead) — both are the property the fleet promises.
+//! The summary row records `cores` so readers can tell which regime a
+//! committed result came from.
+//!
+//! ```console
+//! $ cargo bench -p vrdf-bench --bench fleet_scaling
+//! ```
+
+use vrdf_apps::fleet_corpus;
+use vrdf_bench::{emit, emit_summary, time_per_iteration, BenchOpts};
+use vrdf_sim::{run_fleet, FleetOptions, FleetReport, ValidationOptions};
+
+fn main() {
+    let opts = BenchOpts::from_args(1, 5);
+    let corpus_sizes: &[usize] = if opts.smoke { &[8] } else { &[16, 64] };
+    let worker_grid: &[usize] = if opts.smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let firings = opts.scale(1_500, 100);
+    let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+
+    // (corpus size, workers, graphs/sec) for the summary row.
+    let mut grid_results: Vec<(usize, usize, f64)> = Vec::new();
+
+    for &size in corpus_sizes {
+        let corpus = fleet_corpus(1, size).expect("the synthetic corpus generates");
+        for &workers in worker_grid {
+            let fleet = FleetOptions {
+                workers,
+                validation: ValidationOptions {
+                    endpoint_firings: firings,
+                    random_runs: 2,
+                    ..ValidationOptions::default()
+                },
+                ..FleetOptions::default()
+            };
+            let mut last: Option<FleetReport> = None;
+            let m = time_per_iteration(opts.warmup, opts.iterations, || {
+                let report = run_fleet(&corpus, &fleet);
+                std::hint::black_box(report.results.len());
+                last = Some(report);
+            });
+            let report = last.expect("at least one iteration ran");
+            assert!(report.all_ok(), "{report}");
+            let graphs_per_sec = size as f64 / m.median().as_secs_f64();
+            let p95 = report
+                .p95_latency()
+                .expect("a completed fleet run has latencies");
+            grid_results.push((size, workers, graphs_per_sec));
+            emit(
+                "fleet_scaling",
+                &format!("n{size}-w{workers}"),
+                &m,
+                &[
+                    ("corpus", size as f64),
+                    ("workers", workers as f64),
+                    ("graphs_per_sec", graphs_per_sec),
+                    ("p95_graph_latency_ns", p95.as_nanos() as f64),
+                    ("events", report.events() as f64),
+                ],
+            );
+        }
+    }
+
+    // Scaling efficiency on the largest corpus, relative to the 1-worker
+    // baseline and the hardware's ideal speedup min(w, cores).
+    let largest = *corpus_sizes.last().expect("at least one corpus size");
+    let gps_at = |w: usize| -> f64 {
+        grid_results
+            .iter()
+            .find(|&&(n, workers, _)| n == largest && workers == w)
+            .map(|&(_, _, gps)| gps)
+            .expect("the grid covers this worker count")
+    };
+    let gps_1 = gps_at(1);
+    let mut summary: Vec<(String, f64)> = vec![
+        ("cores".to_owned(), cores as f64),
+        ("corpus".to_owned(), largest as f64),
+        ("graphs_per_sec_w1".to_owned(), gps_1),
+    ];
+    for &w in worker_grid.iter().filter(|&&w| w > 1) {
+        let speedup = gps_at(w) / gps_1;
+        let ideal = w.min(cores) as f64;
+        summary.push((format!("graphs_per_sec_w{w}"), gps_at(w)));
+        summary.push((format!("speedup_w{w}"), speedup));
+        summary.push((format!("efficiency_w{w}"), speedup / ideal));
+    }
+    let pairs: Vec<(&str, f64)> = summary.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    emit_summary("fleet_scaling", "scaling-efficiency", &pairs);
+}

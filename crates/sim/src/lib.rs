@@ -31,6 +31,11 @@
 //!   [`validate_capacities_under_faults`], which replays the scenario
 //!   battery under a [`FaultPlan`] and grades whether strict periodicity
 //!   recovers within a bounded window.
+//! * [`fleet`] — fleet-scale batch analysis: [`run_fleet`] executes a
+//!   per-graph job (validate, minimize, or the VRDF-vs-SDF baseline
+//!   table) for every graph of a corpus over a shared worker pool, with
+//!   a deterministic sharded merge so results are bit-identical for any
+//!   worker count.
 //!
 //! ## Quick start
 //!
@@ -61,6 +66,7 @@
 
 pub mod engine;
 pub mod faults;
+pub mod fleet;
 pub mod policy;
 pub mod reference;
 pub mod search;
@@ -75,15 +81,18 @@ pub use faults::{
     FaultPlan, FaultScenarioResult, FaultValidationOptions, FaultValidationReport, RecoveryVerdict,
     ReleaseFault, TaskFault,
 };
+pub use fleet::{
+    run_fleet, FleetItem, FleetJob, FleetOptions, FleetReport, FleetResult, JobOutcome,
+};
 pub use policy::{splitmix64, CompiledQuantum, QuantumPlan, QuantumPolicy, Side};
 pub use reference::ReferenceSimulator;
 pub use search::{
     minimize_capacities, EdgeMinimum, MinimizationReport, SearchBudget, SearchOptions,
 };
 pub use validate::{
-    conservative_offset, measure_drift, validate_assigned_capacities, validate_capacities,
-    EngineKind, OccupancyBreach, ScenarioResult, ScenarioRunner, ValidationOptions,
-    ValidationReport, WorkerPanic,
+    conservative_offset, effective_threads, measure_drift, validate_assigned_capacities,
+    validate_capacities, EngineKind, OccupancyBreach, ScenarioResult, ScenarioRunner,
+    ValidationOptions, ValidationReport, WorkerPanic,
 };
 
 use std::fmt;

@@ -83,9 +83,13 @@ pub struct ValidationOptions {
     /// Stop each scenario at its first violation.
     pub stop_on_violation: bool,
     /// Worker-thread cap for the scenario battery: `0` uses the machine's
-    /// available parallelism, `1` runs sequentially.  Scenarios are
-    /// independent simulations, so the verdict is identical for every
-    /// thread count — only the wall clock changes.
+    /// available parallelism, `1` runs sequentially, and any cap is
+    /// clamped to the scenario count (see [`effective_threads`], the one
+    /// resolution rule shared by the validate and search paths).
+    /// Scenarios are independent simulations, so the verdict is
+    /// identical for every thread count — only the wall clock changes.
+    /// Inside a fleet run this field is overridden to `1`: the pool owns
+    /// the cores ([`crate::fleet::FleetOptions::battery_options`]).
     pub threads: usize,
     /// Wall-clock budget for one whole battery run.  Scenarios not yet
     /// started when it expires are skipped and listed in
@@ -466,8 +470,20 @@ pub fn validate_assigned_capacities(
     validate_graph(tg, constraint, offset, release, opts)
 }
 
-/// The worker count to use for `n` scenarios under the configured cap.
-fn effective_threads(cap: usize, n: usize) -> usize {
+/// Resolves a worker-thread cap against `n` units of independent work.
+///
+/// This is the one place the `threads`-style knobs are interpreted, so
+/// the semantics are identical everywhere a battery fans out — the
+/// validate path, the search path (whose probes run on a
+/// [`ScenarioRunner`] built with the same rule), and the fleet pool
+/// ([`crate::fleet::run_fleet`]):
+///
+/// * `cap == 0` means *the machine's available parallelism* (falling
+///   back to 1 when it cannot be queried);
+/// * the result is clamped to `n` — spawning more workers than there
+///   are scenarios (or corpus graphs) is pure overhead;
+/// * the result is at least 1, even for `n == 0`.
+pub fn effective_threads(cap: usize, n: usize) -> usize {
     let cap = if cap == 0 {
         std::thread::available_parallelism().map_or(1, |p| p.get())
     } else {
@@ -673,6 +689,14 @@ impl<'a> ScenarioRunner<'a> {
     /// Number of scenarios in the battery.
     pub fn scenario_count(&self) -> usize {
         self.scenarios.len()
+    }
+
+    /// The resolved worker-thread count the battery fans out over:
+    /// [`ValidationOptions::threads`] passed through
+    /// [`effective_threads`], so it never exceeds
+    /// [`scenario_count`](ScenarioRunner::scenario_count).
+    pub fn worker_count(&self) -> usize {
+        self.threads
     }
 
     /// Which engine the battery executes on.
@@ -971,6 +995,53 @@ mod tests {
                 assert_eq!(p.report.endpoint.firings, s.report.endpoint.firings);
             }
         }
+    }
+
+    #[test]
+    fn effective_threads_resolves_zero_and_clamps_to_the_work() {
+        // An explicit cap is clamped to the number of scenarios and
+        // never drops below one worker.
+        assert_eq!(effective_threads(1, 10), 1);
+        assert_eq!(effective_threads(3, 10), 3);
+        assert_eq!(effective_threads(64, 7), 7);
+        assert_eq!(effective_threads(4, 0), 1);
+        // 0 = the machine's available parallelism, same clamp applied.
+        let avail = std::thread::available_parallelism().map_or(1, |p| p.get());
+        assert_eq!(effective_threads(0, 1_000), avail.min(1_000));
+        assert_eq!(effective_threads(0, 1), 1);
+        assert_eq!(effective_threads(0, 0), 1);
+    }
+
+    #[test]
+    fn runner_worker_count_is_clamped_to_the_battery() {
+        // Both the validate path (validate_capacities) and the search
+        // path (minimize_capacities' probe runner) build their battery
+        // through ScenarioRunner::new, so pinning the clamp here pins
+        // it for both.
+        let (tg, constraint) = pair_graph();
+        let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
+        let mut sized = tg.clone();
+        analysis.apply(&mut sized);
+        let opts = ValidationOptions {
+            endpoint_firings: 100,
+            random_runs: 2,
+            threads: 64,
+            ..ValidationOptions::default()
+        };
+        let runner = ScenarioRunner::new(
+            &sized,
+            constraint,
+            conservative_offset(&tg, &analysis).unwrap(),
+            analysis.options().release,
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(runner.scenario_count(), 5, "3 deterministic + 2 random");
+        assert_eq!(
+            runner.worker_count(),
+            5,
+            "a 64-thread cap is clamped to the 5-scenario battery"
+        );
     }
 
     #[test]
