@@ -18,6 +18,12 @@
 //! corpus on a shared worker pool (`--jobs` workers; `--threads` is an
 //! alias, kept so all drivers share the same flag surface).
 //!
+//! `--metrics` prints the state-space executor's telemetry counters
+//! (per-worker pool metrics in fleet mode) to stderr, and
+//! `--trace-out PATH` writes a Perfetto-loadable Chrome trace of one
+//! instrumented tick-engine run of the graph.  Both are gated: without
+//! the flags the executor runs the uninstrumented hot path.
+//!
 //! Exits non-zero when a case study with published capacities does not
 //! reproduce them, or when the sized lowering fails its own steady-state
 //! check, or in fleet mode when any graph's table fails to compute.
@@ -37,6 +43,8 @@ fn main() {
     let mut batch = 0usize;
     let mut jobs = 0usize;
     let mut seed = 1u64;
+    let mut metrics = false;
+    let mut trace_out: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -47,16 +55,22 @@ fn main() {
             "--jobs" => jobs = cli::parse(args.next(), "--jobs"),
             "--threads" => jobs = cli::parse(args.next(), "--threads"),
             "--seed" => seed = cli::parse(args.next(), "--seed"),
+            "--metrics" => metrics = true,
+            "--trace-out" => {
+                trace_out = Some(cli::parse::<String>(args.next(), "--trace-out").into())
+            }
             other => cli::usage_error(
                 &format!("unknown argument `{other}`"),
                 &format!(
                     "usage: baseline [--graph {}] [--minimize] [--max-events N] \
-                     [--batch N] [--jobs W] [--threads W] [--seed S]",
+                     [--batch N] [--jobs W] [--threads W] [--seed S] \
+                     [--metrics] [--trace-out PATH]",
                     CASE_STUDY_NAMES.join("|")
                 ),
             ),
         }
     }
+    exec.telemetry = metrics;
 
     if batch > 0 {
         let fleet = FleetOptions {
@@ -68,8 +82,15 @@ fn main() {
             eprintln!("error: corpus generation failed: {e}");
             std::process::exit(1);
         });
+        if let Some(path) = &trace_out {
+            let first = &corpus[0];
+            vrdf_apps::write_trace(path, &first.graph, first.constraint, 2_000);
+        }
         let report = run_fleet(&corpus, &fleet);
         print!("{report}");
+        if metrics {
+            vrdf_apps::print_fleet_metrics(&report);
+        }
         if !report.all_ok() {
             eprintln!("error: not every graph's baseline table computed");
             std::process::exit(1);
@@ -133,6 +154,16 @@ fn main() {
     let sized = baseline.sized_lowering(&study.graph);
     let state = steady_state(&sized, study.constraint, &exec).expect("the sized lowering executes");
     println!("steady state of the sized constant-max lowering: {state}");
+    if let Some(c) = &state.counters {
+        eprintln!("metrics: sdf executor");
+        eprintln!("  {:<16} {}", "events popped", c.events_popped);
+        eprintln!("  {:<16} {}", "firings started", c.firings_started);
+        eprintln!("  {:<16} {}", "firings finished", c.firings_finished);
+        eprintln!("  {:<16} {}", "settling passes", c.settling_passes);
+    }
+    if let Some(path) = &trace_out {
+        vrdf_apps::write_trace(path, &study.graph, study.constraint, 2_000);
+    }
     if state.outcome != ExecOutcome::Periodic || !state.meets_constraint() {
         eprintln!("error: the baseline capacities fail their own steady-state check");
         std::process::exit(1);

@@ -16,6 +16,10 @@
 //! pads the sink edge (`d3`) by one production quantum (441 containers
 //! ≈ 10 ms of audio) beyond Eq. (4).
 //!
+//! `--metrics` prints the zero-fault baseline battery's telemetry
+//! snapshot to stderr, and `--trace-out PATH` writes a
+//! Perfetto-loadable Chrome trace of one instrumented fault-free run.
+//!
 //! Exits non-zero when the zero-fault Eq. (4) baseline itself fails
 //! validation — that would make every recovery verdict vacuous.
 
@@ -50,6 +54,8 @@ fn main() {
     let mut stall_firing = 10u64;
     let mut stall_ms = 5u64;
     let mut headroom = 441u64;
+    let mut metrics = false;
+    let mut trace_out: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -66,17 +72,23 @@ fn main() {
             "--stall-firing" => stall_firing = cli::parse(args.next(), "--stall-firing"),
             "--stall-ms" => stall_ms = cli::parse(args.next(), "--stall-ms"),
             "--headroom" => headroom = cli::parse(args.next(), "--headroom"),
+            "--metrics" => metrics = true,
+            "--trace-out" => {
+                trace_out = Some(cli::parse::<String>(args.next(), "--trace-out").into())
+            }
             other => cli::usage_error(
                 &format!("unknown argument `{other}`"),
                 &format!(
                     "usage: faults [--graph {}] [--firings N] [--random-runs N] \
                      [--threads N] [--recovery-firings K] [--stall-task NAME] \
-                     [--stall-firing N] [--stall-ms N] [--headroom N]",
+                     [--stall-firing N] [--stall-ms N] [--headroom N] \
+                     [--metrics] [--trace-out PATH]",
                     CASE_STUDY_NAMES.join("|")
                 ),
             ),
         }
     }
+    opts.validation.telemetry = metrics;
 
     let Some(study) = case_study(&graph) else {
         eprintln!(
@@ -103,6 +115,12 @@ fn main() {
         eprintln!("error: the zero-fault Eq. (4) baseline failed validation:");
         eprint!("{baseline}");
         std::process::exit(1);
+    }
+    if let Some(m) = &baseline.metrics {
+        eprint!("{}", m.snapshot());
+    }
+    if let Some(path) = &trace_out {
+        vrdf_apps::write_trace(path, &study.graph, study.constraint, 2_000);
     }
 
     // The task feeding the sink edge is the natural stall victim: its

@@ -16,6 +16,11 @@
 //! Inside the fleet each graph's scenario battery runs single-threaded —
 //! the pool owns the cores.
 //!
+//! `--metrics` prints the aggregate fleet summary and the per-worker
+//! shard metrics (jobs drawn, busy vs idle wall time, outcome counts)
+//! to stderr; `--trace-out PATH` writes a Perfetto-loadable Chrome
+//! trace of one instrumented run of the corpus' first graph.
+//!
 //! Exits non-zero when any graph's job fails, errors, panics, or is
 //! skipped by `--wall-clock-ms`.
 
@@ -23,7 +28,8 @@ use vrdf_apps::{cli, fleet_corpus};
 use vrdf_sim::{run_fleet, FleetOptions};
 
 const USAGE: &str = "usage: fleet [--job validate|minimize|baseline] [--batch N] [--seed S] \
-                     [--jobs W] [--firings N] [--random-runs N] [--wall-clock-ms N]";
+                     [--jobs W] [--firings N] [--random-runs N] [--wall-clock-ms N] \
+                     [--metrics] [--trace-out PATH]";
 
 fn main() {
     let mut opts = FleetOptions::default();
@@ -31,6 +37,8 @@ fn main() {
     opts.validation.random_runs = 2;
     let mut batch = 64usize;
     let mut seed = 1u64;
+    let mut metrics = false;
+    let mut trace_out: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -46,6 +54,10 @@ fn main() {
                 let ms: u64 = cli::parse(args.next(), "--wall-clock-ms");
                 opts.wall_clock = Some(std::time::Duration::from_millis(ms));
             }
+            "--metrics" => metrics = true,
+            "--trace-out" => {
+                trace_out = Some(cli::parse::<String>(args.next(), "--trace-out").into())
+            }
             other => cli::usage_error(&format!("unknown argument `{other}`"), USAGE),
         }
     }
@@ -54,8 +66,14 @@ fn main() {
         eprintln!("error: corpus generation failed: {e}");
         std::process::exit(1);
     });
+    if let (Some(path), Some(first)) = (&trace_out, corpus.first()) {
+        vrdf_apps::write_trace(path, &first.graph, first.constraint, 2_000);
+    }
     let report = run_fleet(&corpus, &opts);
     print!("{report}");
+    if metrics {
+        vrdf_apps::print_fleet_metrics(&report);
+    }
     if !report.all_ok() {
         eprintln!(
             "error: {} of {} graphs did not come back clean",

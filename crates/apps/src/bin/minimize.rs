@@ -16,6 +16,13 @@
 //! N-graph synthetic corpus on a shared worker pool (`--jobs` workers,
 //! batteries forced single-threaded — the pool owns the cores).
 //!
+//! `--metrics` prints the aggregated search telemetry (engine counters,
+//! phase spans, per-probe latency histogram; per-worker pool metrics in
+//! fleet mode) to stderr, and `--trace-out PATH` writes a
+//! Perfetto-loadable Chrome trace of one instrumented run of the graph.
+//! Both are gated: without the flags the search runs the uninstrumented
+//! hot path.
+//!
 //! Exits non-zero when the Eq. (4) baseline itself fails validation
 //! (which would make every reported minimum vacuous), or in fleet mode
 //! when any graph's search does not come back clean.
@@ -31,6 +38,8 @@ fn main() {
     let mut batch = 0usize;
     let mut jobs = 0usize;
     let mut seed = 1u64;
+    let mut metrics = false;
+    let mut trace_out: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -43,16 +52,22 @@ fn main() {
             "--batch" => batch = cli::parse(args.next(), "--batch"),
             "--jobs" => jobs = cli::parse(args.next(), "--jobs"),
             "--seed" => seed = cli::parse(args.next(), "--seed"),
+            "--metrics" => metrics = true,
+            "--trace-out" => {
+                trace_out = Some(cli::parse::<String>(args.next(), "--trace-out").into())
+            }
             other => cli::usage_error(
                 &format!("unknown argument `{other}`"),
                 &format!(
                     "usage: minimize [--graph {}] [--firings N] [--random-runs N] \
-                     [--threads N] [--batch N] [--jobs W] [--seed S]",
+                     [--threads N] [--batch N] [--jobs W] [--seed S] \
+                     [--metrics] [--trace-out PATH]",
                     CASE_STUDY_NAMES.join("|")
                 ),
             ),
         }
     }
+    opts.validation.telemetry = metrics;
 
     if batch > 0 {
         // Fleet mode: per-graph searches are much cheaper than the case
@@ -69,8 +84,15 @@ fn main() {
             eprintln!("error: corpus generation failed: {e}");
             std::process::exit(1);
         });
+        if let Some(path) = &trace_out {
+            let first = &corpus[0];
+            vrdf_apps::write_trace(path, &first.graph, first.constraint, 2_000);
+        }
         let report = run_fleet(&corpus, &fleet);
         print!("{report}");
+        if metrics {
+            vrdf_apps::print_fleet_metrics(&report);
+        }
         if !report.all_ok() {
             eprintln!("error: not every graph's search came back clean");
             std::process::exit(1);
@@ -104,6 +126,16 @@ fn main() {
     let report =
         minimize_capacities(&study.graph, &analysis, &opts).expect("the search constructs");
     print!("{report}");
+    println!(
+        "battery health: {} occupancy breaches, {} scenarios skipped (wall clock)",
+        report.occupancy_breaches, report.scenarios_skipped
+    );
+    if let Some(m) = &report.metrics {
+        eprint!("{}", m.snapshot());
+    }
+    if let Some(path) = &trace_out {
+        vrdf_apps::write_trace(path, &study.graph, study.constraint, 2_000);
+    }
     if !report.baseline_clear {
         eprintln!("error: the Eq. (4) baseline failed validation; minima are vacuous");
         std::process::exit(1);

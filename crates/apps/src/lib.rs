@@ -815,6 +815,101 @@ pub mod cli {
     }
 }
 
+/// Trace-export plumbing shared by the driver binaries' `--trace-out`
+/// flag: runs the graph fully instrumented (telemetry on, tracing at
+/// [`vrdf_sim::TraceLevel::All`]) under the all-max quantum scenario
+/// with the Eq. (4) capacities applied and the endpoint strictly
+/// periodic at the conservative offset, renders the firing timeline as
+/// Chrome-trace/Perfetto JSON ([`vrdf_sim::perfetto_trace`]), and
+/// writes it to `path`.
+///
+/// Returns the instrumented run's report so drivers can surface firing
+/// counts next to the file path.
+///
+/// # Errors
+///
+/// A human-readable message when the analysis, the simulator build, or
+/// the file write fails.
+pub fn export_trace(
+    path: &std::path::Path,
+    tg: &TaskGraph,
+    constraint: ThroughputConstraint,
+    endpoint_firings: u64,
+) -> Result<vrdf_sim::SimReport, String> {
+    use vrdf_sim::{
+        conservative_offset, perfetto_trace, QuantumPlan, QuantumPolicy, SimConfig, Simulator,
+        TraceLevel,
+    };
+    let analysis = vrdf_core::compute_buffer_capacities(tg, constraint)
+        .map_err(|e| format!("analysis failed: {e}"))?;
+    let mut sized = tg.clone();
+    analysis.apply(&mut sized);
+    let offset =
+        conservative_offset(tg, &analysis).map_err(|e| format!("offset overflowed: {e}"))?;
+    let mut config = SimConfig::periodic(constraint, offset);
+    config.max_endpoint_firings = endpoint_firings;
+    config.trace = TraceLevel::All;
+    let report =
+        Simulator::with_telemetry(&sized, QuantumPlan::uniform(QuantumPolicy::Max), config)
+            .map_err(|e| format!("simulator construction failed: {e}"))?
+            .run();
+    std::fs::write(path, perfetto_trace(&report))
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(report)
+}
+
+/// The `--trace-out` endgame every driver shares: export the trace via
+/// [`export_trace`] and report the destination on stderr (so stdout
+/// tables stay machine-diffable), or exit with status 1 on failure.
+pub fn write_trace(
+    path: &std::path::Path,
+    tg: &TaskGraph,
+    constraint: ThroughputConstraint,
+    endpoint_firings: u64,
+) {
+    match export_trace(path, tg, constraint, endpoint_firings) {
+        Ok(report) => {
+            let firings: u64 = report.tasks.iter().map(|t| t.firings).sum();
+            eprintln!(
+                "trace: wrote {} ({} firings, {} events) — open in https://ui.perfetto.dev",
+                path.display(),
+                firings,
+                report.events_processed
+            );
+        }
+        Err(e) => {
+            eprintln!("error: trace export failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The `--metrics` endgame of the fleet-mode drivers: prints the
+/// aggregate [`vrdf_sim::FleetSummary`] and the per-worker shard
+/// metrics (jobs drawn, busy vs idle wall time, outcome counts) to
+/// stderr, keeping stdout reserved for the per-graph report.
+pub fn print_fleet_metrics(report: &vrdf_sim::FleetReport) {
+    let ms = |d: std::time::Duration| d.as_secs_f64() * 1e3;
+    eprintln!("metrics: fleet pool");
+    eprintln!("  {}", report.summary());
+    eprintln!(
+        "  {:<8} {:>6} {:>12} {:>12} {:>5} {:>7} {:>8}",
+        "worker", "jobs", "busy", "idle", "ok", "failed", "skipped"
+    );
+    for (i, m) in report.worker_metrics.iter().enumerate() {
+        eprintln!(
+            "  {:<8} {:>6} {:>10.3}ms {:>10.3}ms {:>5} {:>7} {:>8}",
+            format!("w{i}"),
+            m.jobs,
+            ms(m.busy),
+            ms(m.idle),
+            m.ok,
+            m.failed,
+            m.skipped
+        );
+    }
+}
+
 /// A mixed synthetic corpus for the fleet drivers and benches: random
 /// chains, fixed-shape fork/joins, random DAGs, and cyclic
 /// (feedback-edge) graphs in round-robin order, every member generated
@@ -903,6 +998,22 @@ mod tests {
             compute_buffer_capacities(&item.graph, item.constraint)
                 .unwrap_or_else(|e| panic!("{} infeasible: {e}", item.name));
         }
+    }
+
+    #[test]
+    fn export_trace_slice_count_matches_the_report_exactly() {
+        let dir = std::env::temp_dir().join(format!("vrdf-trace-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mp3.json");
+        let report = export_trace(&path, &mp3_chain(), mp3_constraint(), 500).unwrap();
+        let json = std::fs::read_to_string(&path).unwrap();
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.trim_end().ends_with("]}"));
+        let slices = json.matches("\"ph\":\"X\"").count() as u64;
+        let firings: u64 = report.tasks.iter().map(|t| t.firings).sum();
+        assert_eq!(slices, firings, "one slice per completed firing");
+        assert!(json.contains("\"ph\":\"C\""), "occupancy counter tracks");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

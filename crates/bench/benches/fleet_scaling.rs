@@ -51,9 +51,13 @@ fn main() {
             });
             let report = last.expect("at least one iteration ran");
             assert!(report.all_ok(), "{report}");
-            let graphs_per_sec = size as f64 / m.median().as_secs_f64();
-            let p95 = report
-                .p95_latency()
+            // graphs/sec and p95 come from the report's own summary —
+            // the same code path the fleet binary prints — so the bench
+            // and the CLI cannot drift apart.
+            let fleet_summary = report.summary();
+            let graphs_per_sec = fleet_summary.graphs_per_sec;
+            let p95 = fleet_summary
+                .p95_latency
                 .expect("a completed fleet run has latencies");
             grid_results.push((size, workers, graphs_per_sec));
             emit(

@@ -67,6 +67,9 @@
 //!   existence schedules of Figs. 3–4.
 //! * [`capacity`] — the buffer-capacity algorithm (Eq. 4), feasibility
 //!   checks, and the producer–consumer pair shortcut.
+//! * [`obs`] — shared observability primitives: the coarse counter set
+//!   ([`CoreCounters`]) and hook trait every executor in the workspace
+//!   reports through when telemetry is enabled.
 //!
 //! The companion crates build on this one: `vrdf-sim` (discrete-event
 //! self-timed simulator used to verify sufficiency), `vrdf-sdf` (the
@@ -82,6 +85,7 @@ pub mod bounds;
 pub mod capacity;
 pub mod error;
 pub mod graph;
+pub mod obs;
 pub mod quantum;
 pub mod rates;
 pub mod rational;
@@ -97,6 +101,7 @@ pub use capacity::{
 };
 pub use error::AnalysisError;
 pub use graph::{Actor, ActorId, BufferEdges, Edge, EdgeId, ModelMapping, VrdfGraph};
+pub use obs::{CoreCounters, CounterSink};
 pub use quantum::QuantumSet;
 pub use rates::{ConstraintLocation, PairTiming, RateAssignment, ThroughputConstraint};
 pub use rational::{rat, ParseRationalError, Rational};

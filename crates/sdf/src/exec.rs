@@ -27,7 +27,7 @@ use std::collections::hash_map::Entry;
 use std::collections::{BinaryHeap, HashMap};
 use std::fmt;
 
-use vrdf_core::{ConstrainedRelease, Rational, ThroughputConstraint};
+use vrdf_core::{ConstrainedRelease, CoreCounters, CounterSink, Rational, ThroughputConstraint};
 
 use crate::csdf::{ActorId, ChannelId, CsdfGraph};
 use crate::SdfError;
@@ -43,6 +43,11 @@ pub struct ExecOptions {
     pub max_boundaries: u64,
     /// Event budget before [`SdfError::BudgetExhausted`].
     pub max_events: u64,
+    /// Collect coarse activity counters ([`vrdf_core::CoreCounters`])
+    /// into [`SteadyState::counters`].  Gated like `vrdf-sim`'s
+    /// telemetry: the hooks are always compiled in, and a disabled run
+    /// is bit-identical to an uninstrumented one.  `false` by default.
+    pub telemetry: bool,
 }
 
 impl Default for ExecOptions {
@@ -51,6 +56,7 @@ impl Default for ExecOptions {
             release: ConstrainedRelease::default(),
             max_boundaries: 1024,
             max_events: 50_000_000,
+            telemetry: false,
         }
     }
 }
@@ -87,6 +93,9 @@ pub struct SteadyState {
     pub events: u64,
     /// Total firings per actor (insertion order) at detection time.
     pub firings: Vec<u64>,
+    /// Coarse activity counters, `Some` iff [`ExecOptions::telemetry`]
+    /// was set.
+    pub counters: Option<CoreCounters>,
 }
 
 impl SteadyState {
@@ -178,6 +187,7 @@ struct Executor<'a> {
     seq: u64,
     now: i128,
     events: u64,
+    counters: CoreCounters,
 }
 
 impl<'a> Executor<'a> {
@@ -244,6 +254,7 @@ impl<'a> Executor<'a> {
             seq: 0,
             now: 0,
             events: 0,
+            counters: CoreCounters::default(),
         })
     }
 
@@ -292,6 +303,9 @@ impl<'a> Executor<'a> {
         let actor = &mut self.actors[a];
         actor.busy_until = Some(finish);
         actor.started += 1;
+        if self.opts.telemetry {
+            self.counters.on_firing_started();
+        }
         self.seq += 1;
         self.heap.push(Reverse((finish, self.seq, a)));
     }
@@ -319,6 +333,9 @@ impl<'a> Executor<'a> {
         let actor = &mut self.actors[a];
         actor.busy_until = None;
         actor.finished += 1;
+        if self.opts.telemetry {
+            self.counters.on_firing_finished();
+        }
     }
 
     /// Processes every finish event due at `now`; `Ok(true)` when any
@@ -338,6 +355,9 @@ impl<'a> Executor<'a> {
             #[allow(clippy::expect_used)]
             let Reverse((_, _, a)) = self.heap.pop().expect("peeked");
             self.events += 1;
+            if self.opts.telemetry {
+                self.counters.on_event_popped();
+            }
             self.apply_finish(a);
             any = true;
         }
@@ -369,6 +389,9 @@ impl<'a> Executor<'a> {
             let started = self.try_starts();
             if !drained && !started {
                 return Ok(());
+            }
+            if self.opts.telemetry {
+                self.counters.on_settling_pass();
             }
         }
     }
@@ -465,6 +488,7 @@ pub fn steady_state(
                         boundaries,
                         events: exec.events,
                         firings: exec.actors.iter().map(|a| a.finished).collect(),
+                        counters: opts.telemetry.then_some(exec.counters),
                     });
                 }
                 Entry::Vacant(slot) => {
@@ -491,6 +515,7 @@ pub fn steady_state(
                     boundaries,
                     events: exec.events,
                     firings: exec.actors.iter().map(|a| a.finished).collect(),
+                    counters: opts.telemetry.then_some(exec.counters),
                 });
             }
         }
@@ -763,6 +788,29 @@ mod tests {
         assert!(!state.meets_constraint());
         assert_eq!(state.cycle_time, Rational::ZERO);
         assert!(state.to_string().contains("deadlock"));
+    }
+
+    #[test]
+    fn telemetry_counters_tie_out_against_the_run() {
+        let (g, constraint) = pair(6);
+        let plain = steady_state(&g, constraint, &ExecOptions::default()).unwrap();
+        assert!(plain.counters.is_none(), "telemetry is opt-in");
+        let opts = ExecOptions {
+            telemetry: true,
+            ..ExecOptions::default()
+        };
+        let state = steady_state(&g, constraint, &opts).unwrap();
+        let counters = state.counters.expect("telemetry enabled");
+        assert_eq!(counters.events_popped, state.events);
+        assert_eq!(counters.firings_finished, state.firings.iter().sum::<u64>());
+        assert!(counters.firings_started >= counters.firings_finished);
+        assert!(counters.settling_passes > 0);
+        // The instrumented run is otherwise identical.
+        assert_eq!(state.outcome, plain.outcome);
+        assert_eq!(state.events, plain.events);
+        assert_eq!(state.firings, plain.firings);
+        assert_eq!(state.cycle_time, plain.cycle_time);
+        assert_eq!(state.transient, plain.transient);
     }
 
     #[test]

@@ -78,6 +78,7 @@ use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 use std::fmt;
 use std::mem;
+use std::time::Instant;
 
 use vrdf_core::{
     BufferId, ConstrainedRelease, ConstraintLocation, Rational, TaskGraph, TaskId,
@@ -86,6 +87,7 @@ use vrdf_core::{
 
 use crate::faults::{CompiledFaults, FaultPlan};
 use crate::policy::{CompiledQuantum, QuantumPlan, Side};
+use crate::telemetry::{EngineCounters, OccupancySample, PhaseTimes, Telemetry};
 use crate::SimError;
 
 /// How the throughput-constrained endpoint task is scheduled.
@@ -356,6 +358,20 @@ pub struct SimReport {
     /// `None` when no fault struck; recovery windows are measured from
     /// here.
     pub last_fault_time: Option<Rational>,
+    /// Engine activity counters; `Some` iff the plan was built with
+    /// telemetry enabled ([`SimPlan::with_telemetry`] /
+    /// [`SimPlan::instrumented`]).
+    pub counters: Option<EngineCounters>,
+    /// Buffer-occupancy history, one sample per occupancy change.
+    /// Non-empty only for telemetry-enabled runs traced at
+    /// [`TraceLevel::All`]; the Perfetto exporter renders these as
+    /// counter tracks.
+    pub occupancy: Vec<OccupancySample>,
+    /// Wall-clock spans of the reset and run phases; `Some` iff the plan
+    /// was built with telemetry enabled.  Wall times live here, outside
+    /// every compared field, so differential comparisons and merged
+    /// results stay deterministic.
+    pub spans: Option<PhaseTimes>,
 }
 
 impl SimReport {
@@ -488,15 +504,18 @@ impl EventQueue {
         self.window = self.mask as i128 - slack;
     }
 
+    /// Queues one event; returns `true` when it landed on the O(1)
+    /// wheel, `false` when it fell back to the overflow heap (telemetry
+    /// counts the split to surface mis-sized wheels).
     #[inline]
-    fn push(&mut self, now: i128, time: i128, seq: u64, node: u32) {
+    fn push(&mut self, now: i128, time: i128, seq: u64, node: u32) -> bool {
         let delta = time - now;
         if delta < 0 || delta > self.window {
             // Beyond the window, or behind `now` — only the initial
             // release at a negative offset, pushed at reset before the
             // clock first moves.
             self.overflow.push(Event { time, seq, node });
-            return;
+            return false;
         }
         self.wheel_len += 1;
         let b = (time as usize) & self.mask;
@@ -511,6 +530,7 @@ impl EventQueue {
             self.node_next[t as usize] = node;
         }
         self.tail[b] = node;
+        true
     }
 
     /// Whether an event is due exactly at `now` — O(1): the bucket of
@@ -705,6 +725,12 @@ pub struct SimPlan<'a> {
     /// emptiness check so [`SimPlan::new`] stays bit-identical to the
     /// pre-fault engine.
     faults: CompiledFaults,
+    /// Whether runs of this plan collect [`EngineCounters`], phase spans,
+    /// and (at [`TraceLevel::All`]) occupancy samples.  Gated exactly
+    /// like `faults`: every hook checks this one boolean, so a disabled
+    /// plan is bit-identical to the pre-telemetry engine
+    /// (`tests/telemetry.rs` pins it).
+    telemetry: bool,
 }
 
 impl<'a> SimPlan<'a> {
@@ -723,7 +749,7 @@ impl<'a> SimPlan<'a> {
     /// * [`SimError::TickOverflow`] — the run's times cannot be rescaled
     ///   to a shared integer tick clock within `u64` ticks.
     pub fn new(tg: &'a TaskGraph, config: SimConfig) -> Result<SimPlan<'a>, SimError> {
-        Self::build(tg, config, None)
+        Self::build(tg, config, None, Telemetry::disabled())
     }
 
     /// Like [`SimPlan::new`], but every run of the plan replays the given
@@ -743,13 +769,43 @@ impl<'a> SimPlan<'a> {
         config: SimConfig,
         faults: &FaultPlan,
     ) -> Result<SimPlan<'a>, SimError> {
-        Self::build(tg, config, Some(faults))
+        Self::build(tg, config, Some(faults), Telemetry::disabled())
+    }
+
+    /// Like [`SimPlan::new`], but every run of the plan collects
+    /// telemetry: [`EngineCounters`], reset/run phase spans, and — when
+    /// the config traces at [`TraceLevel::All`] — per-buffer occupancy
+    /// samples ([`SimReport::occupancy`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`SimPlan::new`].
+    pub fn with_telemetry(tg: &'a TaskGraph, config: SimConfig) -> Result<SimPlan<'a>, SimError> {
+        Self::build(tg, config, None, Telemetry::enabled())
+    }
+
+    /// The fully general constructor: a fault plan **and** a telemetry
+    /// gate.  `SimPlan::instrumented(tg, config, &FaultPlan::default(),
+    /// Telemetry::disabled())` is bit-identical to [`SimPlan::new`] —
+    /// the gated-hooks guarantee the differential tests pin.
+    ///
+    /// # Errors
+    ///
+    /// As [`SimPlan::with_faults`].
+    pub fn instrumented(
+        tg: &'a TaskGraph,
+        config: SimConfig,
+        faults: &FaultPlan,
+        telemetry: Telemetry,
+    ) -> Result<SimPlan<'a>, SimError> {
+        Self::build(tg, config, Some(faults), telemetry)
     }
 
     fn build(
         tg: &'a TaskGraph,
         config: SimConfig,
         fault_plan: Option<&FaultPlan>,
+        telemetry: Telemetry,
     ) -> Result<SimPlan<'a>, SimError> {
         let dag = tg.condensed().map_err(SimError::Analysis)?;
 
@@ -886,6 +942,7 @@ impl<'a> SimPlan<'a> {
             buf_pos,
             wheel_hint,
             faults,
+            telemetry: telemetry.is_enabled(),
         })
     }
 
@@ -969,13 +1026,25 @@ impl<'a> SimPlan<'a> {
         capacities: &[(BufferId, u64)],
     ) -> Result<SimReport, SimError> {
         quanta.validate(self.tg)?;
+        // Span timing is gated like every other hook: a disabled plan
+        // never reads the clock.
+        let reset_begin = self.telemetry.then(Instant::now);
         state.reset(self, quanta, capacities)?;
+        let run_begin = self.telemetry.then(Instant::now);
         let mut exec = Exec {
             plan: self,
             st: state,
         };
         let outcome = exec.run_loop();
-        Ok(exec.report(outcome))
+        let mut report = exec.report(outcome);
+        if let (Some(reset_begin), Some(run_begin)) = (reset_begin, run_begin) {
+            report.spans = Some(PhaseTimes {
+                reset: run_begin - reset_begin,
+                run: run_begin.elapsed(),
+                ..PhaseTimes::default()
+            });
+        }
+        Ok(report)
     }
 }
 
@@ -1044,6 +1113,12 @@ pub struct SimState {
     first_fault: Option<i128>,
     /// Last instant a fault perturbed the run, in ticks.
     last_fault: Option<i128>,
+    /// Telemetry counters; only touched when the plan enables telemetry.
+    counters: EngineCounters,
+    /// Occupancy samples `(buffer-state index, tick, occupancy)`; only
+    /// filled for telemetry-enabled runs traced at [`TraceLevel::All`],
+    /// converted to [`OccupancySample`]s at the report boundary.
+    occupancy: Vec<(u32, i128, u64)>,
 }
 
 impl SimState {
@@ -1084,6 +1159,8 @@ impl SimState {
             faults_injected: 0,
             first_fault: None,
             last_fault: None,
+            counters: EngineCounters::default(),
+            occupancy: Vec::new(),
         }
     }
 
@@ -1206,6 +1283,8 @@ impl SimState {
         self.faults_injected = 0;
         self.first_fault = None;
         self.last_fault = None;
+        self.counters = EngineCounters::default();
+        self.occupancy.clear();
 
         if let Some(offset) = plan.offset {
             if plan.config.max_endpoint_firings > 0 {
@@ -1213,7 +1292,14 @@ impl SimState {
                 // Release jitter shifts the initial release too; zero on
                 // the fault-free fast path.
                 let release = offset + plan.release_delay(0);
-                self.queue.push(self.now, release, self.seq, nt as u32);
+                let on_wheel = self.queue.push(self.now, release, self.seq, nt as u32);
+                if plan.telemetry {
+                    if on_wheel {
+                        self.counters.wheel_pushes += 1;
+                    } else {
+                        self.counters.overflow_pushes += 1;
+                    }
+                }
             }
         }
         Ok(())
@@ -1238,7 +1324,14 @@ impl Exec<'_, '_> {
     #[inline]
     fn push(&mut self, time: i128, node: u32) {
         self.st.seq += 1;
-        self.st.queue.push(self.st.now, time, self.st.seq, node);
+        let on_wheel = self.st.queue.push(self.st.now, time, self.st.seq, node);
+        if self.plan.telemetry {
+            if on_wheel {
+                self.st.counters.wheel_pushes += 1;
+            } else {
+                self.st.counters.overflow_pushes += 1;
+            }
+        }
     }
 
     /// Flags a task for re-examination, once.
@@ -1279,6 +1372,9 @@ impl Exec<'_, '_> {
             let need = if fixed {
                 st.claimed_in[e]
             } else {
+                if plan.telemetry {
+                    st.counters.policy_dispatches += 1;
+                }
                 let need = st.consumption[bi].draw(k);
                 st.claimed_in[e] = need;
                 need
@@ -1296,6 +1392,9 @@ impl Exec<'_, '_> {
             let need = if fixed {
                 st.claimed_out[e]
             } else {
+                if plan.telemetry {
+                    st.counters.policy_dispatches += 1;
+                }
                 let need = st.production[bi].draw(k);
                 st.claimed_out[e] = need;
                 need
@@ -1317,6 +1416,9 @@ impl Exec<'_, '_> {
         let plan = self.plan;
         let k = self.st.started[pos];
         let immediate_free = pos == plan.endpoint && plan.immediate_free;
+        // Occupancy history is a trace-grade artifact: sampled only when
+        // telemetry is on *and* the run keeps the full firing trace.
+        let sample = plan.telemetry && plan.config.trace == TraceLevel::All;
         let mut consumed = 0u64;
         let mut produced = 0u64;
         for e in plan.in_start[pos] as usize..plan.in_start[pos + 1] as usize {
@@ -1329,6 +1431,10 @@ impl Exec<'_, '_> {
                 self.st.space[bi] += c;
                 // Space freed upstream can enable the producer.
                 self.mark_dirty(plan.producer_pos[bi] as usize);
+                if sample {
+                    let occupancy = self.st.capacity[bi] - self.st.space[bi];
+                    self.st.occupancy.push((bi as u32, self.st.now, occupancy));
+                }
             }
         }
         for e in plan.out_start[pos] as usize..plan.out_start[pos + 1] as usize {
@@ -1339,7 +1445,13 @@ impl Exec<'_, '_> {
             if occupancy > self.st.max_occupancy[bi] {
                 self.st.max_occupancy[bi] = occupancy;
             }
+            if sample {
+                self.st.occupancy.push((bi as u32, self.st.now, occupancy));
+            }
             produced += p;
+        }
+        if plan.telemetry {
+            self.st.counters.firings_started += 1;
         }
         let start = self.st.now;
         let rho = plan.rho[pos];
@@ -1403,12 +1515,17 @@ impl Exec<'_, '_> {
         // is ever in flight), so its quanta still sit in the scratch —
         // a busy task never reaches the scratch writes in `startable`.
         let immediate_free = pos == plan.endpoint && plan.immediate_free;
+        let sample = plan.telemetry && plan.config.trace == TraceLevel::All;
         if !immediate_free {
             for e in plan.in_start[pos] as usize..plan.in_start[pos + 1] as usize {
                 let bi = plan.in_buf[e] as usize;
                 self.st.space[bi] += self.st.claimed_in[e];
                 // Space freed upstream can enable the producer.
                 self.mark_dirty(plan.producer_pos[bi] as usize);
+                if sample {
+                    let occupancy = self.st.capacity[bi] - self.st.space[bi];
+                    self.st.occupancy.push((bi as u32, self.st.now, occupancy));
+                }
             }
         }
         for e in plan.out_start[pos] as usize..plan.out_start[pos + 1] as usize {
@@ -1421,6 +1538,9 @@ impl Exec<'_, '_> {
         }
         self.st.busy[pos] = false;
         self.st.finished[pos] += 1;
+        if plan.telemetry {
+            self.st.counters.firings_finished += 1;
+        }
         // The task itself is enabled again now that it is idle.
         self.mark_dirty(pos);
     }
@@ -1438,6 +1558,7 @@ impl Exec<'_, '_> {
     /// positions at or behind the scan cursor — so this is exactly the
     /// reference's ascending-position re-scan, without a sort.
     fn try_starts(&mut self) {
+        let telemetry = self.plan.telemetry;
         loop {
             let mut any_dirty = false;
             for w in 0..self.st.dirty.len() {
@@ -1446,6 +1567,9 @@ impl Exec<'_, '_> {
                     continue;
                 }
                 any_dirty = true;
+                if telemetry {
+                    self.st.counters.dirty_sweeps += 1;
+                }
                 self.st.dirty[w] = 0;
                 while bits != 0 {
                     let pos = (w << 6) | bits.trailing_zeros() as usize;
@@ -1457,6 +1581,9 @@ impl Exec<'_, '_> {
             }
             if !any_dirty {
                 return;
+            }
+            if telemetry {
+                self.st.counters.settling_passes += 1;
             }
         }
     }
@@ -1478,6 +1605,9 @@ impl Exec<'_, '_> {
                 return;
             };
             self.st.events_processed += 1;
+            if self.plan.telemetry {
+                self.st.counters.events_popped += 1;
+            }
             if node == release_node {
                 let issued = self.st.releases_issued;
                 self.st.releases_issued += 1;
@@ -1642,6 +1772,16 @@ impl Exec<'_, '_> {
             })
             .collect();
         let end_time = self.rational(self.st.now);
+        let occupancy = self
+            .st
+            .occupancy
+            .iter()
+            .map(|&(bi, tick, occupancy)| OccupancySample {
+                buffer: plan.buffer_ids[bi as usize],
+                time: Rational::from_ticks(tick, plan.tick_den),
+                occupancy,
+            })
+            .collect();
         SimReport {
             outcome,
             violations: mem::take(&mut self.st.violations),
@@ -1654,6 +1794,9 @@ impl Exec<'_, '_> {
             faults_injected: self.st.faults_injected,
             first_fault_time: self.st.first_fault.map(|t| self.rational(t)),
             last_fault_time: self.st.last_fault.map(|t| self.rational(t)),
+            counters: plan.telemetry.then_some(self.st.counters),
+            occupancy,
+            spans: None,
         }
     }
 }
@@ -1713,6 +1856,31 @@ impl<'a> Simulator<'a> {
         config: SimConfig,
     ) -> Result<Simulator<'a>, SimError> {
         let sim_plan = SimPlan::new(tg, config)?;
+        plan.validate(tg)?;
+        sim_plan.require_capacities()?;
+        let state = sim_plan.state();
+        Ok(Simulator {
+            plan: sim_plan,
+            state,
+            quanta: plan,
+        })
+    }
+
+    /// Like [`Simulator::new`], but every run collects telemetry (see
+    /// [`SimPlan::with_telemetry`]): the report carries
+    /// [`EngineCounters`], phase spans, and — when the config traces at
+    /// [`TraceLevel::All`] — the occupancy samples the Perfetto exporter
+    /// renders.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::new`].
+    pub fn with_telemetry(
+        tg: &'a TaskGraph,
+        plan: QuantumPlan,
+        config: SimConfig,
+    ) -> Result<Simulator<'a>, SimError> {
+        let sim_plan = SimPlan::with_telemetry(tg, config)?;
         plan.validate(tg)?;
         sim_plan.require_capacities()?;
         let state = sim_plan.state();

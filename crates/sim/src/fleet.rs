@@ -329,6 +329,72 @@ pub struct FleetResult {
     pub outcome: JobOutcome,
 }
 
+/// The headline numbers of a fleet run, computed once by
+/// [`FleetReport::summary`] so the `fleet` binary and the
+/// `fleet_scaling` bench read the same arithmetic instead of each
+/// re-deriving it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetSummary {
+    /// Corpus size (completed + skipped).
+    pub graphs: usize,
+    /// Worker threads the pool ran.
+    pub workers: usize,
+    /// Wall time of the whole run.
+    pub elapsed: Duration,
+    /// Completed graphs per second of fleet wall time.
+    pub graphs_per_sec: f64,
+    /// Nearest-rank p95 of the per-graph job latencies; `None` when
+    /// nothing completed.
+    pub p95_latency: Option<Duration>,
+    /// Outcome histogram: jobs that ran and came back clean.
+    pub ok: usize,
+    /// Jobs that ran but came back dirty (failed validation or
+    /// baseline, error, panic).
+    pub failed: usize,
+    /// Graphs skipped by the fleet wall-clock budget.
+    pub skipped: usize,
+}
+
+impl fmt::Display for FleetSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} graphs on {} workers in {:.3}s — {} ok, {} failed, {} skipped \
+             ({:.1} graphs/s, p95 {:.3}ms)",
+            self.graphs,
+            self.workers,
+            self.elapsed.as_secs_f64(),
+            self.ok,
+            self.failed,
+            self.skipped,
+            self.graphs_per_sec,
+            self.p95_latency.unwrap_or_default().as_secs_f64() * 1e3,
+        )
+    }
+}
+
+/// Telemetry of one worker thread's drain loop: how many jobs it drew
+/// off the shared counter, where its wall time went, and what those
+/// jobs produced.  The *split* across workers varies run to run (only
+/// the merged results are deterministic) — these metrics exist to show
+/// the split.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkerMetrics {
+    /// Jobs this worker drew from the shared queue.
+    pub jobs: usize,
+    /// Wall time spent executing jobs.
+    pub busy: Duration,
+    /// Fleet wall time this worker was not executing a job (drain
+    /// startup, queue exhaustion tail).
+    pub idle: Duration,
+    /// Jobs that came back clean.
+    pub ok: usize,
+    /// Jobs that ran but came back dirty.
+    pub failed: usize,
+    /// Wall-clock skips this worker drew.
+    pub skipped: usize,
+}
+
 /// The merged output of a fleet run.
 #[derive(Clone, Debug)]
 pub struct FleetReport {
@@ -346,6 +412,8 @@ pub struct FleetReport {
     /// Jobs each worker executed (sums to the corpus size; the split
     /// varies run to run — only the merged `results` are pinned).
     pub worker_jobs: Vec<usize>,
+    /// Per-worker shard telemetry, parallel to `worker_jobs`.
+    pub worker_metrics: Vec<WorkerMetrics>,
     /// Wall time of the whole fleet run.
     pub elapsed: Duration,
 }
@@ -421,24 +489,26 @@ impl FleetReport {
     pub fn events(&self) -> u64 {
         self.results.iter().map(|r| r.outcome.events()).sum()
     }
+
+    /// The headline numbers (throughput, p95 latency, outcome
+    /// histogram), computed in one place.
+    pub fn summary(&self) -> FleetSummary {
+        FleetSummary {
+            graphs: self.results.len(),
+            workers: self.workers,
+            elapsed: self.elapsed,
+            graphs_per_sec: self.graphs_per_sec(),
+            p95_latency: self.p95_latency(),
+            ok: self.results.iter().filter(|r| r.outcome.ok()).count(),
+            failed: self.failures().count(),
+            skipped: self.skipped(),
+        }
+    }
 }
 
 impl fmt::Display for FleetReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(
-            f,
-            "fleet {}: {} graphs on {} workers in {:.3}s — {} ok, {} failed, {} skipped \
-             ({:.1} graphs/s, p95 {:.3}ms)",
-            self.job,
-            self.results.len(),
-            self.workers,
-            self.elapsed.as_secs_f64(),
-            self.results.iter().filter(|r| r.outcome.ok()).count(),
-            self.failures().count(),
-            self.skipped(),
-            self.graphs_per_sec(),
-            self.p95_latency().unwrap_or_default().as_secs_f64() * 1e3,
-        )?;
+        writeln!(f, "fleet {}: {}", self.job, self.summary())?;
         for r in &self.results {
             writeln!(f, "  {:<14} {}", r.name, r.outcome)?;
         }
@@ -592,6 +662,23 @@ pub fn run_fleet(corpus: &[FleetItem], opts: &FleetOptions) -> FleetReport {
     };
 
     let worker_jobs: Vec<usize> = shards.iter().map(Vec::len).collect();
+    let mut worker_metrics: Vec<WorkerMetrics> = shards
+        .iter()
+        .map(|shard| WorkerMetrics {
+            jobs: shard.len(),
+            busy: shard.iter().map(|(_, _, latency)| *latency).sum(),
+            idle: Duration::ZERO, // filled once the fleet elapsed is known
+            ok: shard.iter().filter(|(_, o, _)| o.ok()).count(),
+            failed: shard
+                .iter()
+                .filter(|(_, o, _)| !o.ok() && *o != JobOutcome::Skipped)
+                .count(),
+            skipped: shard
+                .iter()
+                .filter(|(_, o, _)| *o == JobOutcome::Skipped)
+                .count(),
+        })
+        .collect();
     let mut merged: Vec<(usize, JobOutcome, Duration)> = shards.into_iter().flatten().collect();
     merged.sort_by_key(|(index, _, _)| *index);
     let mut results = Vec::with_capacity(merged.len());
@@ -604,13 +691,18 @@ pub fn run_fleet(corpus: &[FleetItem], opts: &FleetOptions) -> FleetReport {
         });
         latencies.push(latency);
     }
+    let elapsed = started.elapsed();
+    for metrics in &mut worker_metrics {
+        metrics.idle = elapsed.saturating_sub(metrics.busy);
+    }
     FleetReport {
         job: opts.job,
         results,
         latencies,
         workers,
         worker_jobs,
-        elapsed: started.elapsed(),
+        worker_metrics,
+        elapsed,
     }
 }
 
@@ -692,6 +784,30 @@ mod tests {
         assert!(report.p95_latency().is_some());
         assert_eq!(report.worker_jobs.iter().sum::<usize>(), 2);
         assert!(report.to_string().contains("fleet validate"));
+        // The summary is the same arithmetic the report exposes
+        // piecemeal, and the Display header renders it verbatim.
+        let summary = report.summary();
+        assert_eq!(summary.graphs, 2);
+        assert_eq!(summary.ok, 2);
+        assert_eq!(summary.failed, 0);
+        assert_eq!(summary.skipped, 0);
+        assert_eq!(summary.graphs_per_sec, report.graphs_per_sec());
+        assert_eq!(summary.p95_latency, report.p95_latency());
+        assert!(report.to_string().contains(&summary.to_string()));
+        // Worker metrics cover the whole corpus and agree with the
+        // per-shard job counts.
+        assert_eq!(
+            report
+                .worker_metrics
+                .iter()
+                .map(|m| m.jobs)
+                .collect::<Vec<_>>(),
+            report.worker_jobs
+        );
+        assert_eq!(report.worker_metrics.iter().map(|m| m.ok).sum::<usize>(), 2);
+        for m in &report.worker_metrics {
+            assert!(m.busy + m.idle <= report.elapsed + report.elapsed);
+        }
     }
 
     #[test]
@@ -710,6 +826,17 @@ mod tests {
         assert!(!report.all_ok());
         assert_eq!(report.failures().count(), 0, "skips are not failures");
         assert!(report.to_string().contains("skipped (fleet wall clock)"));
+        let summary = report.summary();
+        assert_eq!(summary.skipped, 2);
+        assert_eq!(summary.ok + summary.failed, 0);
+        assert_eq!(
+            report
+                .worker_metrics
+                .iter()
+                .map(|m| m.skipped)
+                .sum::<usize>(),
+            2
+        );
     }
 
     #[test]

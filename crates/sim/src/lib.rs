@@ -36,6 +36,11 @@
 //!   table) for every graph of a corpus over a shared worker pool, with
 //!   a deterministic sharded merge so results are bit-identical for any
 //!   worker count.
+//! * [`telemetry`] — zero-overhead observability: engine counters, phase
+//!   spans, latency histograms, and the Chrome-trace/Perfetto exporter.
+//!   Compiled in but gated exactly like [`faults`]; a
+//!   [`Telemetry::disabled()`] run is bit-identical and within noise of
+//!   the uninstrumented engine.
 //!
 //! ## Quick start
 //!
@@ -70,6 +75,7 @@ pub mod fleet;
 pub mod policy;
 pub mod reference;
 pub mod search;
+pub mod telemetry;
 pub mod validate;
 
 pub use engine::{
@@ -82,12 +88,17 @@ pub use faults::{
     ReleaseFault, TaskFault,
 };
 pub use fleet::{
-    run_fleet, FleetItem, FleetJob, FleetOptions, FleetReport, FleetResult, JobOutcome,
+    run_fleet, FleetItem, FleetJob, FleetOptions, FleetReport, FleetResult, FleetSummary,
+    JobOutcome, WorkerMetrics,
 };
 pub use policy::{splitmix64, CompiledQuantum, QuantumPlan, QuantumPolicy, Side};
 pub use reference::ReferenceSimulator;
 pub use search::{
     minimize_capacities, EdgeMinimum, MinimizationReport, SearchBudget, SearchOptions,
+};
+pub use telemetry::{
+    perfetto_trace, EngineCounters, Histogram, MetricsSnapshot, OccupancySample, PhaseTimes,
+    SearchMetrics, Telemetry, ValidationMetrics,
 };
 pub use validate::{
     conservative_offset, effective_threads, measure_drift, validate_assigned_capacities,

@@ -14,13 +14,17 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use vrdf_core::{BufferId, ConstrainedRelease, ConstraintLocation, Rational, TaskGraph, TaskId};
+use vrdf_core::{
+    BufferId, ConstrainedRelease, ConstraintLocation, CoreCounters, CounterSink, Rational,
+    TaskGraph, TaskId,
+};
 
 use crate::engine::{
     BlockReason, BufferStats, EndpointBehavior, EndpointStats, FiringRecord, SimConfig, SimOutcome,
     SimReport, TaskStats, TraceLevel, Violation,
 };
 use crate::policy::{QuantumPlan, Side};
+use crate::telemetry::EngineCounters;
 use crate::SimError;
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -104,6 +108,13 @@ pub struct ReferenceSimulator<'a> {
     last_start: Option<Rational>,
     max_drift: Option<Rational>,
     max_lateness: Option<Rational>,
+    /// Whether the run reports the coarse [`CoreCounters`] subset —
+    /// gated like the tick engine's telemetry, so the default stays
+    /// bit-identical to the pre-telemetry reference.
+    telemetry: bool,
+    /// Coarse activity counters, reported through the shared
+    /// [`CounterSink`] hook; only touched when `telemetry` is on.
+    counters: CoreCounters,
 }
 
 impl<'a> ReferenceSimulator<'a> {
@@ -208,6 +219,8 @@ impl<'a> ReferenceSimulator<'a> {
             last_start: None,
             max_drift: None,
             max_lateness: None,
+            telemetry: false,
+            counters: CoreCounters::default(),
         };
         if let EndpointBehavior::StrictlyPeriodic { offset } = sim.config.behavior {
             if sim.config.max_endpoint_firings > 0 {
@@ -215,6 +228,14 @@ impl<'a> ReferenceSimulator<'a> {
             }
         }
         Ok(sim)
+    }
+
+    /// Enables the coarse counter subset on this run, for differential
+    /// comparison against an instrumented tick-engine run.
+    #[must_use]
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = true;
+        self
     }
 
     fn push(&mut self, time: Rational, kind: EventKind) {
@@ -327,6 +348,9 @@ impl<'a> ReferenceSimulator<'a> {
             task.started += 1;
             task.busy_time += rho;
         }
+        if self.telemetry {
+            self.counters.on_firing_started();
+        }
         self.push(finish, EventKind::Finish { task: pos });
 
         if pos == self.endpoint {
@@ -385,6 +409,9 @@ impl<'a> ReferenceSimulator<'a> {
         let task = &mut self.tasks[pos];
         task.busy = false;
         task.finished += 1;
+        if self.telemetry {
+            self.counters.on_firing_finished();
+        }
     }
 
     fn try_starts(&mut self) -> bool {
@@ -400,6 +427,9 @@ impl<'a> ReferenceSimulator<'a> {
             }
             if !progressed {
                 return any;
+            }
+            if self.telemetry {
+                self.counters.on_settling_pass();
             }
         }
     }
@@ -418,6 +448,9 @@ impl<'a> ReferenceSimulator<'a> {
             #[allow(clippy::expect_used)]
             let event = self.heap.pop().expect("peeked");
             self.events_processed += 1;
+            if self.telemetry {
+                self.counters.on_event_popped();
+            }
             any = true;
             match event.kind {
                 EventKind::Finish { task } => self.apply_finish(task),
@@ -500,6 +533,18 @@ impl<'a> ReferenceSimulator<'a> {
             faults_injected: 0,
             first_fault_time: None,
             last_fault_time: None,
+            // Coarse counters only: the reference has no wheel, no dirty
+            // bitmap, and no compiled policies, so the engine-specific
+            // fields stay zero.
+            counters: self.telemetry.then(|| EngineCounters {
+                events_popped: self.counters.events_popped,
+                firings_started: self.counters.firings_started,
+                firings_finished: self.counters.firings_finished,
+                settling_passes: self.counters.settling_passes,
+                ..EngineCounters::default()
+            }),
+            occupancy: Vec::new(),
+            spans: None,
         }
     }
 

@@ -26,14 +26,15 @@
 //! battery (scenario set, endpoint firings, offset): a capacity is
 //! "minimal" when one container less fails at least one battery scenario.
 //! Verdicts are thread-count-invariant because the underlying
-//! [`ValidationReport`](crate::validate::ValidationReport) is.
+//! [`ValidationReport`] is.
 
 use std::fmt;
 use std::time::{Duration, Instant};
 
 use vrdf_core::{BufferId, GraphAnalysis, Rational, TaskGraph};
 
-use crate::validate::{conservative_offset, ScenarioRunner, ValidationOptions};
+use crate::telemetry::SearchMetrics;
+use crate::validate::{conservative_offset, ScenarioRunner, ValidationOptions, ValidationReport};
 use crate::SimError;
 
 /// A watchdog budget for [`minimize_capacities`]: the search stops
@@ -150,10 +151,24 @@ pub struct MinimizationReport {
     /// included — the search's raw simulation volume, for throughput
     /// accounting.
     pub events: u64,
+    /// Total [`crate::ScenarioResult::occupancy_breaches`] across every
+    /// probe battery, baseline included.  Breaches are engine-accounting
+    /// failures, not deadline misses — any nonzero count deserves a look
+    /// even when the search verdict is clean.
+    pub occupancy_breaches: u64,
+    /// Scenarios skipped by the per-battery wall-clock watchdog across
+    /// every probe, baseline included.  A skipped scenario fails its
+    /// probe, so skips silently inflate the reported minima.
+    pub scenarios_skipped: u64,
     /// `false` when the [`SearchBudget`] expired before every searched
     /// edge was confirmed minimal; the affected edges carry
     /// [`EdgeMinimum::incomplete`].
     pub complete: bool,
+    /// Aggregated search telemetry (engine counters, phase spans, probe
+    /// latency histogram), `Some` iff the search's
+    /// [`ValidationOptions::telemetry`] was set.  Wall times live here,
+    /// outside every field the determinism test compares.
+    pub metrics: Option<SearchMetrics>,
 }
 
 impl MinimizationReport {
@@ -206,6 +221,13 @@ impl fmt::Display for MinimizationReport {
                 "  INCOMPLETE: the search budget expired; unconfirmed edges are marked *"
             )?;
         }
+        if self.occupancy_breaches > 0 || self.scenarios_skipped > 0 {
+            writeln!(
+                f,
+                "  battery health: {} occupancy breaches, {} scenarios skipped (wall clock)",
+                self.occupancy_breaches, self.scenarios_skipped
+            )?;
+        }
         writeln!(
             f,
             "  {:<8} {:>10} {:>10} {:>6} {:>7} {:>7}",
@@ -232,6 +254,27 @@ impl fmt::Display for MinimizationReport {
 /// Eq. (4)-sized graph, with `stop_on_violation` forced on.  Every probe
 /// is a [`ScenarioRunner::validate`] call with the candidate capacities
 /// as overrides — a reset of the runner's arenas, not a rebuild.
+/// Folds one probe's battery telemetry (counters, phase spans) and wall
+/// time into the search-level metrics.  `plan_build` is paid once for
+/// the whole search (every probe shares one runner), so it is kept at
+/// its maximum rather than summed across probes.
+fn record_probe(
+    metrics: &mut Option<SearchMetrics>,
+    report: &ValidationReport,
+    begin: Option<Instant>,
+) {
+    if let (Some(m), Some(begin)) = (metrics.as_mut(), begin) {
+        if let Some(vm) = &report.metrics {
+            m.counters.merge(&vm.counters);
+            m.phases.reset += vm.phases.reset;
+            m.phases.run += vm.phases.run;
+            m.phases.merge += vm.phases.merge;
+            m.phases.plan_build = m.phases.plan_build.max(vm.phases.plan_build);
+        }
+        m.probe_latency.record(begin.elapsed());
+    }
+}
+
 fn probe_runner<'g>(
     sized: &'g TaskGraph,
     analysis: &GraphAnalysis,
@@ -304,6 +347,13 @@ pub fn minimize_capacities(
     let sized = analysis.with_capacities(tg, &[]);
     let mut runner = probe_runner(&sized, analysis, offset, opts)?;
     let mut events = 0u64;
+    // Battery-health counters are collected unconditionally (they are a
+    // couple of integer adds per probe, not telemetry): a breach or a
+    // watchdog skip quietly poisons the minima, so the report always
+    // carries the counts.
+    let mut occupancy_breaches = 0u64;
+    let mut scenarios_skipped = 0u64;
+    let mut metrics = opts.validation.telemetry.then(SearchMetrics::default);
 
     // Working assignment, one slot per edge in the analysis' order; the
     // warm start (a previous partial search's best validated values)
@@ -368,8 +418,12 @@ pub fn minimize_capacities(
 
     // The Eq. (4) baseline (plus warm start) must hold, or "smaller still
     // passes" verdicts would be meaningless.
+    let probe_begin = metrics.is_some().then(Instant::now);
     let baseline = runner.validate(&current)?;
+    record_probe(&mut metrics, &baseline, probe_begin);
     events += baseline.events();
+    occupancy_breaches += baseline.occupancy_breach_count();
+    scenarios_skipped += baseline.skipped.len() as u64;
     let baseline_clear = baseline.all_clear();
     if !baseline_clear {
         return Ok(MinimizationReport {
@@ -380,7 +434,10 @@ pub fn minimize_capacities(
             probes: probes.get(),
             probes_passed,
             events,
+            occupancy_breaches,
+            scenarios_skipped,
             complete: true,
+            metrics,
         });
     }
     probes_passed += 1;
@@ -423,8 +480,12 @@ pub fn minimize_capacities(
             let mut try_at =
                 |cap: u64, current: &mut Vec<(BufferId, u64)>, runner: &mut ScenarioRunner<'_>| {
                     current[i].1 = cap;
+                    let probe_begin = metrics.is_some().then(Instant::now);
                     let report = runner.validate(current)?;
+                    record_probe(&mut metrics, &report, probe_begin);
                     events += report.events();
+                    occupancy_breaches += report.occupancy_breach_count();
+                    scenarios_skipped += report.skipped.len() as u64;
                     edges[i].probes += 1;
                     probes.set(probes.get() + 1);
                     let pass = report.all_clear();
@@ -482,7 +543,10 @@ pub fn minimize_capacities(
         probes: probes.get(),
         probes_passed,
         events,
+        occupancy_breaches,
+        scenarios_skipped,
         complete,
+        metrics,
     })
 }
 
@@ -597,6 +661,24 @@ mod tests {
             assert_eq!(edge.minimal, edge.assigned);
         }
         assert!(report.to_string().contains("BASELINE FAILED"));
+    }
+
+    #[test]
+    fn search_telemetry_records_one_latency_sample_per_probe() {
+        let (tg, constraint) = pair_graph();
+        let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
+        let plain = minimize_capacities(&tg, &analysis, &quick_options()).unwrap();
+        assert!(plain.metrics.is_none(), "telemetry is opt-in");
+        let mut opts = quick_options();
+        opts.validation.telemetry = true;
+        let report = minimize_capacities(&tg, &analysis, &opts).unwrap();
+        let metrics = report.metrics.as_ref().expect("telemetry enabled");
+        assert_eq!(metrics.probe_latency.count(), u64::from(report.probes));
+        assert_eq!(metrics.counters.events_popped, report.events);
+        assert!(metrics.snapshot().to_string().contains("probe latency"));
+        // The instrumented search lands on the same minima.
+        assert_eq!(report.edges, plain.edges);
+        assert_eq!(report.probes, plain.probes);
     }
 
     #[test]

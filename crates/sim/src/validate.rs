@@ -64,6 +64,7 @@ use crate::engine::{
 use crate::faults::FaultPlan;
 use crate::policy::{QuantumPlan, QuantumPolicy};
 use crate::reference::ReferenceSimulator;
+use crate::telemetry::{Telemetry, ValidationMetrics};
 use crate::SimError;
 
 /// Tunables for [`validate_capacities`].
@@ -100,6 +101,12 @@ pub struct ValidationOptions {
     /// the named scenario, exercising the battery's panic isolation.
     /// `None` (the default) injects nothing.
     pub chaos_panic_scenario: Option<String>,
+    /// Collect engine counters, phase spans, and per-scenario wall times
+    /// into [`ValidationReport::metrics`].  Gated exactly like faults:
+    /// the hooks are always compiled in, and a disabled run is
+    /// bit-identical to an uninstrumented one (see
+    /// [`crate::telemetry::Telemetry`]).  `false` by default.
+    pub telemetry: bool,
 }
 
 impl Default for ValidationOptions {
@@ -114,6 +121,7 @@ impl Default for ValidationOptions {
             threads: 0,
             wall_clock: None,
             chaos_panic_scenario: None,
+            telemetry: false,
         }
     }
 }
@@ -242,6 +250,11 @@ pub struct ValidationReport {
     pub skipped: Vec<String>,
     /// Which engine executed the battery.
     pub engine: EngineKind,
+    /// Aggregated battery telemetry, `Some` iff
+    /// [`ValidationOptions::telemetry`] was set.  Wall times live here —
+    /// outside every field the differential tests compare — so the
+    /// verdict stays bit-identical for every thread count.
+    pub metrics: Option<ValidationMetrics>,
 }
 
 impl ValidationReport {
@@ -269,6 +282,15 @@ impl ValidationReport {
         self.scenarios
             .iter()
             .map(|s| s.report.events_processed)
+            .sum()
+    }
+
+    /// Total [`ScenarioResult::occupancy_breaches`] across the battery —
+    /// engine-accounting failures, distinct from deadline misses.
+    pub fn occupancy_breach_count(&self) -> u64 {
+        self.scenarios
+            .iter()
+            .map(|s| s.occupancy_breaches.len() as u64)
             .sum()
     }
 }
@@ -514,6 +536,8 @@ pub struct ScenarioRunner<'a> {
     offset: Rational,
     wall_clock: Option<Duration>,
     chaos_panic_scenario: Option<String>,
+    telemetry: Telemetry,
+    plan_build: Duration,
 }
 
 /// The engine a [`ScenarioRunner`] executes on: the tick engine with its
@@ -532,11 +556,13 @@ enum RunnerEngine<'a> {
     },
 }
 
-/// What became of one scheduled scenario.
+/// What became of one scheduled scenario.  `Done` carries the scenario's
+/// wall time (zero unless telemetry is enabled), kept outside
+/// [`ScenarioResult`] so timing never leaks into compared fields.
 // A handful of instances per battery: not worth boxing.
 #[allow(clippy::large_enum_variant)]
 enum RunOutcome {
-    Done(ScenarioResult),
+    Done(ScenarioResult, Duration),
     Failed(SimError),
     Panicked(WorkerPanic),
     Skipped(String),
@@ -568,7 +594,9 @@ fn run_tick_scenario(
     quanta: &QuantumPlan,
     capacities: &[(BufferId, u64)],
     chaos: Option<&str>,
+    timed: bool,
 ) -> RunOutcome {
+    let begin = timed.then(Instant::now);
     let result = catch_unwind(AssertUnwindSafe(|| {
         if chaos == Some(name) {
             panic!("deliberate chaos panic before scenario `{name}`");
@@ -576,7 +604,10 @@ fn run_tick_scenario(
         plan.run_with_capacities(state, quanta, capacities)
     }));
     match result {
-        Ok(Ok(report)) => RunOutcome::Done(ScenarioResult::from_report(name.to_owned(), report)),
+        Ok(Ok(report)) => RunOutcome::Done(
+            ScenarioResult::from_report(name.to_owned(), report),
+            begin.map_or(Duration::ZERO, |b| b.elapsed()),
+        ),
         Ok(Err(e)) => RunOutcome::Failed(e),
         Err(payload) => RunOutcome::Panicked(WorkerPanic {
             scenario: name.to_owned(),
@@ -593,15 +624,26 @@ fn run_reference_scenario(
     name: &str,
     quanta: &QuantumPlan,
     chaos: Option<&str>,
+    timed: bool,
 ) -> RunOutcome {
+    let begin = timed.then(Instant::now);
     let result = catch_unwind(AssertUnwindSafe(|| {
         if chaos == Some(name) {
             panic!("deliberate chaos panic before scenario `{name}`");
         }
-        ReferenceSimulator::new(tg, quanta.clone(), config.clone()).map(|sim| sim.run())
+        ReferenceSimulator::new(tg, quanta.clone(), config.clone()).map(|sim| {
+            if timed {
+                sim.with_telemetry().run()
+            } else {
+                sim.run()
+            }
+        })
     }));
     match result {
-        Ok(Ok(report)) => RunOutcome::Done(ScenarioResult::from_report(name.to_owned(), report)),
+        Ok(Ok(report)) => RunOutcome::Done(
+            ScenarioResult::from_report(name.to_owned(), report),
+            begin.map_or(Duration::ZERO, |b| b.elapsed()),
+        ),
         Ok(Err(e)) => RunOutcome::Failed(e),
         Err(payload) => RunOutcome::Panicked(WorkerPanic {
             scenario: name.to_owned(),
@@ -659,9 +701,15 @@ impl<'a> ScenarioRunner<'a> {
         config.max_events = opts.max_events;
         config.stop_on_violation = opts.stop_on_violation;
         config.trace = TraceLevel::None;
+        let telemetry = if opts.telemetry {
+            Telemetry::enabled()
+        } else {
+            Telemetry::disabled()
+        };
         let scenarios = scenario_plans(tg, opts);
         let threads = effective_threads(opts.threads, scenarios.len());
-        let engine = match SimPlan::with_faults(tg, config.clone(), faults) {
+        let build_begin = telemetry.is_enabled().then(Instant::now);
+        let engine = match SimPlan::instrumented(tg, config.clone(), faults, telemetry) {
             Ok(plan) => {
                 let states = (0..threads).map(|_| plan.state()).collect();
                 RunnerEngine::Tick { plan, states }
@@ -678,6 +726,8 @@ impl<'a> ScenarioRunner<'a> {
             offset,
             wall_clock: opts.wall_clock,
             chaos_panic_scenario: opts.chaos_panic_scenario.clone(),
+            telemetry,
+            plan_build: build_begin.map_or(Duration::ZERO, |b| b.elapsed()),
         })
     }
 
@@ -725,6 +775,7 @@ impl<'a> ScenarioRunner<'a> {
         let deadline = self.wall_clock.map(|budget| Instant::now() + budget);
         let chaos = self.chaos_panic_scenario.as_deref();
         let threads = self.threads;
+        let timed = self.telemetry.is_enabled();
         let engine = match &self.engine {
             RunnerEngine::Tick { .. } => EngineKind::Tick,
             RunnerEngine::Reference { .. } => EngineKind::Reference,
@@ -740,7 +791,7 @@ impl<'a> ScenarioRunner<'a> {
                         if past(deadline) {
                             RunOutcome::Skipped(name.clone())
                         } else {
-                            run_tick_scenario(plan, state, name, quanta, capacities, chaos)
+                            run_tick_scenario(plan, state, name, quanta, capacities, chaos, timed)
                         }
                     })
                     .collect()
@@ -765,7 +816,7 @@ impl<'a> ScenarioRunner<'a> {
                                         RunOutcome::Skipped(name.clone())
                                     } else {
                                         run_tick_scenario(
-                                            plan, state, name, quanta, capacities, chaos,
+                                            plan, state, name, quanta, capacities, chaos, timed,
                                         )
                                     };
                                     (i, outcome)
@@ -808,20 +859,33 @@ impl<'a> ScenarioRunner<'a> {
                         if past(deadline) {
                             RunOutcome::Skipped(name.clone())
                         } else {
-                            run_reference_scenario(graph, config, name, quanta, chaos)
+                            run_reference_scenario(graph, config, name, quanta, chaos, timed)
                         }
                     })
                     .collect()
             }
         };
 
+        let merge_begin = timed.then(Instant::now);
         let mut results = Vec::new();
         let mut panics = Vec::new();
         let mut skipped = Vec::new();
         let mut first_error = None;
+        let mut metrics = timed.then(ValidationMetrics::default);
         for outcome in outcomes {
             match outcome {
-                RunOutcome::Done(r) => results.push(r),
+                RunOutcome::Done(r, wall) => {
+                    if let Some(m) = &mut metrics {
+                        if let Some(counters) = &r.report.counters {
+                            m.counters.merge(counters);
+                        }
+                        if let Some(spans) = &r.report.spans {
+                            m.phases.merge_from(spans);
+                        }
+                        m.scenario_wall.push((r.name.clone(), wall));
+                    }
+                    results.push(r);
+                }
                 RunOutcome::Failed(e) => {
                     let _ = first_error.get_or_insert(e);
                 }
@@ -832,12 +896,17 @@ impl<'a> ScenarioRunner<'a> {
         if let Some(e) = first_error {
             return Err(e);
         }
+        if let (Some(m), Some(begin)) = (&mut metrics, merge_begin) {
+            m.phases.plan_build = self.plan_build;
+            m.phases.merge = begin.elapsed();
+        }
         Ok(ValidationReport {
             offset: self.offset,
             scenarios: results,
             panics,
             skipped,
             engine,
+            metrics,
         })
     }
 }
@@ -968,6 +1037,7 @@ mod tests {
             panics: Vec::new(),
             skipped: Vec::new(),
             engine: EngineKind::Tick,
+            metrics: None,
         };
         assert!(summary.to_string().contains("engine accounting"));
     }
@@ -994,6 +1064,39 @@ mod tests {
                 assert_eq!(p.report.events_processed, s.report.events_processed);
                 assert_eq!(p.report.endpoint.firings, s.report.endpoint.firings);
             }
+        }
+    }
+
+    #[test]
+    fn telemetry_battery_aggregates_counters_without_changing_the_verdict() {
+        let (tg, constraint) = pair_graph();
+        let analysis = compute_buffer_capacities(&tg, constraint).unwrap();
+        let opts = |telemetry| ValidationOptions {
+            endpoint_firings: 300,
+            telemetry,
+            ..ValidationOptions::default()
+        };
+        let plain = validate_capacities(&tg, &analysis, &opts(false)).unwrap();
+        assert!(plain.metrics.is_none(), "telemetry is opt-in");
+        let instrumented = validate_capacities(&tg, &analysis, &opts(true)).unwrap();
+        let metrics = instrumented.metrics.as_ref().expect("telemetry enabled");
+        // Counter sums are deterministic and tie out against the report.
+        assert_eq!(metrics.counters.events_popped, instrumented.events());
+        assert_eq!(
+            metrics.counters.firings_started,
+            metrics.counters.firings_finished
+        );
+        assert!(metrics.counters.firings_started > 0);
+        assert_eq!(metrics.scenario_wall.len(), instrumented.scenarios.len());
+        assert!(metrics.snapshot().to_string().contains("events popped"));
+        // The instrumented verdict is identical to the plain one.
+        assert_eq!(instrumented.scenarios.len(), plain.scenarios.len());
+        for (i, p) in instrumented.scenarios.iter().zip(&plain.scenarios) {
+            assert_eq!(i.name, p.name);
+            assert_eq!(i.report.outcome, p.report.outcome);
+            assert_eq!(i.report.violations, p.report.violations);
+            assert_eq!(i.report.events_processed, p.report.events_processed);
+            assert_eq!(i.report.endpoint.firings, p.report.endpoint.firings);
         }
     }
 
